@@ -1,0 +1,80 @@
+// Figure 9: convergence traces (residual L2 norm per iteration) of the
+// CG and BiCGSTAB solvers under double (GPU / Feinberg-fc) and refloat,
+// for all 12 matrices.
+//
+// Emits one CSV per (matrix, solver, platform) under results/traces/ and
+// prints a per-matrix summary: iterations to convergence and the residual
+// after 25% / 50% / 100% of the run — the "same trend, spikes, converges"
+// shape the paper describes.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "bench/harness.h"
+#include "src/util/table.h"
+
+namespace refloat::bench {
+namespace {
+
+std::string trace_path(const gen::SuiteSpec& spec, SolverKind solver,
+                       Platform platform) {
+  return results_dir() + "/traces/" + spec.name + "_" +
+         solver_name(solver) + "_" + platform_name(platform) + ".csv";
+}
+
+double residual_at_fraction(const std::string& csv_path, double fraction) {
+  std::ifstream in(csv_path);
+  if (!in) return -1.0;
+  std::vector<double> residuals;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) continue;
+    residuals.push_back(std::strtod(line.c_str() + comma + 1, nullptr));
+  }
+  if (residuals.empty()) return -1.0;
+  const auto idx = static_cast<std::size_t>(
+      fraction * static_cast<double>(residuals.size() - 1));
+  return residuals[idx];
+}
+
+void run_solver(SolverKind solver, ResultCache& cache) {
+  std::printf("--- %s ---\n", solver_name(solver));
+  util::Table table({"matrix", "platform", "status", "iters", "res@25%",
+                     "res@50%", "final"});
+  for (const gen::SuiteSpec& spec : gen::suite()) {
+    const MatrixBundle bundle = load_bundle(spec);
+    for (Platform platform :
+         {Platform::kDouble, Platform::kRefloat, Platform::kFeinberg}) {
+      const std::string path = trace_path(spec, solver, platform);
+      const SolveRecord rec =
+          run_solve(bundle, solver, platform, cache, path, /*need_trace=*/true);
+      table.add_row({spec.name, platform_name(platform), rec.status,
+                     std::to_string(rec.iterations),
+                     util::fmt_g(residual_at_fraction(path, 0.25), 3),
+                     util::fmt_g(residual_at_fraction(path, 0.50), 3),
+                     util::fmt_g(rec.final_residual, 3)});
+    }
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace refloat::bench
+
+int main() {
+  using namespace refloat::bench;
+  std::printf("=== Figure 9: convergence traces (tau = 1e-8, ||b|| = 1) "
+              "===\n");
+  std::printf("Full traces: results/traces/<matrix>_<solver>_<platform>.csv\n"
+              "Paper shape: refloat tracks the double trend with occasional "
+              "spikes and converges on all 12 matrices;\nFeinberg diverges / "
+              "stalls on the out-of-window matrices.\n\n");
+  std::filesystem::create_directories(results_dir() + "/traces");
+  ResultCache cache("data/results/solves.csv");
+  run_solver(SolverKind::kCg, cache);
+  run_solver(SolverKind::kBicgstab, cache);
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Kernel microbenchmarks (google-benchmark): the computational primitives
+// behind the experiment harness — CSR SpMV, ReFloat conversion, vector
+// segment quantization, the bit-sliced cluster MVM and the full
+// processing-engine pass. These measure *simulator* throughput (host-side),
+// not modeled accelerator time.
+#include <benchmark/benchmark.h>
+
+#include "src/core/refloat_matrix.h"
+#include "src/gen/grid.h"
+#include "src/hw/engine.h"
+#include "src/solvers/solver.h"
+#include "src/util/random.h"
+
+namespace {
+
+using namespace refloat;
+
+sparse::Csr make_matrix(long side) {
+  return gen::build_stencil(gen::laplace2d_5pt(side, side)).shifted(0.05);
+}
+
+void BM_CsrSpmv(benchmark::State& state) {
+  const sparse::Csr a = make_matrix(state.range(0));
+  std::vector<double> x(a.rows(), 1.0);
+  std::vector<double> y(a.rows());
+  for (auto _ : state) {
+    a.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(a.nnz()));
+}
+BENCHMARK(BM_CsrSpmv)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_RefloatConversion(benchmark::State& state) {
+  const sparse::Csr a = make_matrix(state.range(0));
+  const core::Format fmt = core::default_format();
+  for (auto _ : state) {
+    core::RefloatMatrix rf(a, fmt);
+    benchmark::DoNotOptimize(rf.nonzero_blocks());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(a.nnz()));
+}
+BENCHMARK(BM_RefloatConversion)->Arg(64)->Arg(128);
+
+void BM_QuantizeVector(benchmark::State& state) {
+  const sparse::Csr a = make_matrix(128);
+  const core::RefloatMatrix rf(a, core::default_format());
+  util::Rng rng(5);
+  std::vector<double> x(a.rows());
+  for (double& v : x) v = rng.gaussian();
+  std::vector<double> out(x.size());
+  for (auto _ : state) {
+    rf.quantize_vector(x, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(x.size()));
+}
+BENCHMARK(BM_QuantizeVector);
+
+void BM_RefloatSpmv(benchmark::State& state) {
+  const sparse::Csr a = make_matrix(state.range(0));
+  const core::RefloatMatrix rf(a, core::default_format());
+  util::Rng rng(7);
+  std::vector<double> x(a.rows());
+  for (double& v : x) v = rng.gaussian();
+  std::vector<double> y(a.rows());
+  std::vector<double> scratch;
+  for (auto _ : state) {
+    rf.spmv_refloat(x, y, scratch);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(a.nnz()));
+}
+BENCHMARK(BM_RefloatSpmv)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ClusterMvm(benchmark::State& state) {
+  // 128x128 bit-true cluster with the default matrix width (11 planes).
+  util::Rng rng(11);
+  const int side = 128;
+  std::vector<std::vector<std::uint64_t>> m(
+      side, std::vector<std::uint64_t>(side, 0));
+  for (auto& row : m) {
+    for (auto& v : row) {
+      if (rng.uniform() < 0.1) v = rng.below(1 << 11);
+    }
+  }
+  hw::CrossbarCluster cluster(m, 11);
+  std::vector<std::uint64_t> x(side);
+  for (auto& v : x) v = rng.below(1 << 16);
+  std::vector<std::int64_t> y(side);
+  for (auto _ : state) {
+    cluster.mvm(x, 16, y, nullptr, rng);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ClusterMvm);
+
+void BM_EngineApply(benchmark::State& state) {
+  util::Rng rng(13);
+  const int side = 128;
+  std::vector<std::vector<double>> block(side, std::vector<double>(side, 0.0));
+  std::vector<double> flat;
+  for (auto& row : block) {
+    for (auto& v : row) {
+      if (rng.uniform() < 0.1) {
+        v = rng.gaussian();
+        flat.push_back(v);
+      }
+    }
+  }
+  const core::Format fmt = core::default_format();
+  const int eb = core::select_block_base(flat, fmt.e, {});
+  hw::ProcessingEngine engine(block, eb, fmt);
+  std::vector<double> x(side);
+  for (double& v : x) v = rng.gaussian();
+  std::vector<double> y(side, 0.0);
+  for (auto _ : state) {
+    engine.apply(x, y, nullptr, rng);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_EngineApply);
+
+}  // namespace
+
+BENCHMARK_MAIN();

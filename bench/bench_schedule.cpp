@@ -1,0 +1,72 @@
+// Schedule-simulation study: plays out every suite matrix's SpMV on the
+// event timeline (arch/schedule) and cross-validates the closed-form
+// timing model, reporting the observables the closed form cannot give —
+// cluster utilization, write/compute occupancy and stream traffic.
+// Also runs the write/compute overlap ablation (double buffering off).
+#include <cmath>
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/arch/schedule.h"
+#include "src/sparse/blocked.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+int main() {
+  using namespace refloat::bench;
+  using namespace refloat;
+  std::printf("=== Schedule simulation: event timeline vs closed-form "
+              "timing model (ReFloat config) ===\n\n");
+
+  util::CsvWriter csv(results_dir() + "/schedule.csv");
+  csv.row({"matrix", "rounds", "event_us", "model_us", "overlap_off_us",
+           "utilization", "matrix_stream_MB", "iv_KB", "ov_KB"});
+  util::Table table({"matrix", "rounds", "event t", "model t", "no-overlap",
+                     "cluster util", "matrix stream", "IV in", "OV out"});
+
+  double max_rel_gap = 0.0;
+  for (const gen::SuiteSpec& spec : gen::suite()) {
+    const MatrixBundle bundle = load_bundle(spec);
+    const arch::AcceleratorConfig cfg = arch::refloat_config(bundle.format);
+    const sparse::BlockedMatrix blocked(bundle.a, bundle.format.b);
+
+    const arch::ScheduleStats ev = arch::simulate_spmv(cfg, blocked);
+    const arch::SpmvTiming model =
+        arch::spmv_time(cfg, blocked.nonzero_blocks());
+    max_rel_gap = std::max(
+        max_rel_gap, std::abs(ev.seconds - model.seconds) / model.seconds);
+
+    arch::AcceleratorConfig serial = cfg;
+    serial.overlap_write_compute = false;
+    const arch::ScheduleStats ev_serial =
+        arch::simulate_spmv(serial, blocked);
+
+    table.add_row(
+        {spec.name, std::to_string(ev.rounds),
+         util::fmt_duration(ev.seconds), util::fmt_duration(model.seconds),
+         util::fmt_duration(ev_serial.seconds),
+         util::fmt_f(ev.cluster_utilization * 100.0, 1) + "%",
+         util::fmt_f(static_cast<double>(ev.matrix_stream_bits) / 8e6, 1) +
+             " MB",
+         util::fmt_f(static_cast<double>(ev.input_vector_bits) / 8e3, 0) +
+             " KB",
+         util::fmt_f(static_cast<double>(ev.output_vector_bits) / 8e3, 0) +
+             " KB"});
+    csv.row({spec.name, std::to_string(ev.rounds),
+             util::fmt_g(ev.seconds * 1e6, 5),
+             util::fmt_g(model.seconds * 1e6, 5),
+             util::fmt_g(ev_serial.seconds * 1e6, 5),
+             util::fmt_g(ev.cluster_utilization, 4),
+             util::fmt_g(static_cast<double>(ev.matrix_stream_bits) / 8e6, 4),
+             util::fmt_g(static_cast<double>(ev.input_vector_bits) / 8e3, 4),
+             util::fmt_g(static_cast<double>(ev.output_vector_bits) / 8e3,
+                         4)});
+  }
+  table.print();
+  std::printf("\nmax |event - model| / model = %.2e (the closed form is the "
+              "timeline's exact fixed point)\n", max_rel_gap);
+  std::printf("Multi-round matrices stream their cells every pass — the "
+              "write column of the overlap ablation;\nresident matrices "
+              "move only vector segments.\n");
+  return 0;
+}

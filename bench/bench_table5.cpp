@@ -1,0 +1,56 @@
+// Table V: the evaluated matrices — rows, NNZ, NNZ/row and condition
+// number — paper value vs the generated stand-in (kappa measured by
+// Lanczos, 300 steps).
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/gen/spectral.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace refloat::bench;
+  using namespace refloat;
+  std::printf("=== Table V: matrices in the evaluation (paper vs generated "
+              "stand-in) ===\n\n");
+
+  util::CsvWriter csv(results_dir() + "/table5.csv");
+  csv.row({"id", "name", "paper_rows", "rows", "paper_nnz", "nnz",
+           "paper_nnz_per_row", "nnz_per_row", "paper_kappa", "kappa_est"});
+  util::Table table({"ID", "name", "rows (paper)", "rows", "NNZ (paper)",
+                     "NNZ", "NNZ/R (paper)", "NNZ/R", "kappa (paper)",
+                     "kappa (Lanczos)"});
+
+  for (const gen::SuiteSpec& spec : gen::suite()) {
+    const MatrixBundle bundle = load_bundle(spec);
+    const auto& a = bundle.a;
+    const gen::SpectrumEstimate est = gen::lanczos_extremes(
+        [&a](std::span<const double> x, std::span<double> y) {
+          a.spmv(x, y);
+        },
+        static_cast<std::size_t>(a.rows()), 300, /*seed=*/spec.seed);
+
+    table.add_row({std::to_string(spec.ss_id), spec.name,
+                   util::fmt_i(spec.paper_rows), util::fmt_i(a.rows()),
+                   util::fmt_i(static_cast<long long>(spec.paper_nnz)),
+                   util::fmt_i(static_cast<long long>(a.nnz())),
+                   util::fmt_f(spec.paper_nnz_per_row, 1),
+                   util::fmt_f(a.nnz_per_row(), 1),
+                   util::fmt_g(spec.paper_kappa, 3),
+                   util::fmt_g(est.kappa(), 3)});
+    csv.row({std::to_string(spec.ss_id), spec.name,
+             std::to_string(spec.paper_rows), std::to_string(a.rows()),
+             std::to_string(spec.paper_nnz), std::to_string(a.nnz()),
+             util::fmt_g(spec.paper_nnz_per_row, 4),
+             util::fmt_g(a.nnz_per_row(), 4),
+             util::fmt_g(spec.paper_kappa, 4), util::fmt_g(est.kappa(), 4)});
+  }
+  table.print();
+  std::printf("\nNotes: wathen100/120 are structurally exact Wathen "
+              "matrices; gridgena keeps the full 222x221 grid (n +0.2%%)\n"
+              "so its published kappa calibrates exactly; Lanczos "
+              "lambda_min estimates are upper-bounded for ill-conditioned\n"
+              "matrices (gridgena, Dubcova2), so their kappa column reads "
+              "low.\n");
+  std::printf("Series written to results/table5.csv\n");
+  return 0;
+}

@@ -1,0 +1,230 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/arch/cost.h"
+#include "src/solvers/bicgstab.h"
+#include "src/solvers/cg.h"
+#include "src/solvers/operator.h"
+#include "src/sparse/blocked.h"
+#include "src/util/log.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+namespace refloat::bench {
+
+const char* platform_name(Platform platform) {
+  switch (platform) {
+    case Platform::kDouble: return "double";
+    case Platform::kRefloat: return "refloat";
+    case Platform::kFeinberg: return "feinberg";
+  }
+  return "?";
+}
+
+const char* solver_name(SolverKind solver) {
+  return solver == SolverKind::kCg ? "CG" : "BiCGSTAB";
+}
+
+MatrixBundle load_bundle(const gen::SuiteSpec& spec) {
+  MatrixBundle bundle;
+  bundle.spec = &spec;
+  bundle.a = gen::load_or_build(spec, gen::default_data_dir());
+  bundle.b = solve::make_rhs(bundle.a, spec.b_norm);
+  bundle.format = spec.fv_override != 0 ? core::default_format_fv16()
+                                        : core::default_format();
+  const sparse::BlockedMatrix blocked(bundle.a, bundle.format.b);
+  bundle.nonzero_blocks = blocked.nonzero_blocks();
+  return bundle;
+}
+
+ResultCache::ResultCache(const std::string& path) : path_(path) {
+  std::ifstream in(path_);
+  if (!in) return;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    std::istringstream ss(line);
+    SolveRecord rec;
+    std::string iter_s, fr_s, tr_s, ws_s;
+    if (!std::getline(ss, rec.matrix, ',')) continue;
+    std::getline(ss, rec.solver, ',');
+    std::getline(ss, rec.platform, ',');
+    std::getline(ss, iter_s, ',');
+    std::getline(ss, rec.status, ',');
+    std::getline(ss, fr_s, ',');
+    std::getline(ss, tr_s, ',');
+    std::getline(ss, ws_s, ',');
+    rec.iterations = std::strtol(iter_s.c_str(), nullptr, 10);
+    rec.final_residual = std::strtod(fr_s.c_str(), nullptr);
+    rec.true_residual = std::strtod(tr_s.c_str(), nullptr);
+    rec.wall_seconds = std::strtod(ws_s.c_str(), nullptr);
+    records_[rec.matrix + "|" + rec.solver + "|" + rec.platform] = rec;
+  }
+}
+
+ResultCache::~ResultCache() { save(); }
+
+void ResultCache::save() const {
+  if (!dirty_) return;
+  const std::filesystem::path p(path_);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path_, std::ios::trunc);
+  out << "matrix,solver,platform,iterations,status,final_residual,"
+         "true_residual,wall_seconds\n";
+  char buf[256];
+  for (const auto& [key, rec] : records_) {
+    std::snprintf(buf, sizeof(buf), "%s,%s,%s,%ld,%s,%.17g,%.17g,%.6g\n",
+                  rec.matrix.c_str(), rec.solver.c_str(),
+                  rec.platform.c_str(), rec.iterations, rec.status.c_str(),
+                  rec.final_residual, rec.true_residual, rec.wall_seconds);
+    out << buf;
+  }
+}
+
+std::optional<SolveRecord> ResultCache::get(const std::string& matrix,
+                                            const std::string& solver,
+                                            const std::string& platform) const {
+  const auto it = records_.find(matrix + "|" + solver + "|" + platform);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ResultCache::put(const SolveRecord& record) {
+  records_[record.matrix + "|" + record.solver + "|" + record.platform] =
+      record;
+  dirty_ = true;
+}
+
+solve::SolveOptions evaluation_options() {
+  solve::SolveOptions opts;
+  opts.tolerance = 1e-8;
+  opts.max_iterations = 25000;
+  opts.divergence_factor = 1e10;
+  opts.stall_window = 1500;
+  return opts;
+}
+
+namespace {
+
+void write_trace(const std::string& path, const std::vector<double>& trace) {
+  util::CsvWriter csv(path);
+  csv.row({"iteration", "residual"});
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.8e", trace[i]);
+    csv.row({std::to_string(i), buf});
+  }
+}
+
+}  // namespace
+
+SolveRecord run_solve(const MatrixBundle& bundle, SolverKind solver,
+                      Platform platform, ResultCache& cache,
+                      const std::string& trace_csv, bool need_trace) {
+  const std::string m = bundle.spec->name;
+  const std::string s = solver_name(solver);
+  const std::string p = platform_name(platform);
+  if (auto cached = cache.get(m, s, p)) {
+    const bool trace_ok =
+        !need_trace || trace_csv.empty() ||
+        std::filesystem::exists(trace_csv);
+    if (trace_ok) return *cached;
+  }
+
+  // Platform operator. The RefloatMatrix conversion is rebuilt per call;
+  // it is cheap next to the solve itself.
+  std::unique_ptr<core::RefloatMatrix> rf;
+  std::unique_ptr<solve::LinearOperator> op;
+  switch (platform) {
+    case Platform::kDouble:
+      op = std::make_unique<solve::CsrOperator>(bundle.a);
+      break;
+    case Platform::kRefloat:
+      rf = std::make_unique<core::RefloatMatrix>(bundle.a, bundle.format);
+      op = std::make_unique<solve::RefloatOperator>(*rf);
+      break;
+    case Platform::kFeinberg:
+      op = std::make_unique<solve::FeinbergOperator>(bundle.a);
+      break;
+  }
+
+  solve::SolveOptions opts = evaluation_options();
+  util::Timer timer;
+  solve::SolveResult result = solver == SolverKind::kCg
+                                  ? solve::cg(*op, bundle.b, opts)
+                                  : solve::bicgstab(*op, bundle.b, opts);
+  const double wall = timer.seconds();
+  solve::attach_true_residual(bundle.a, bundle.b, result);
+
+  SolveRecord rec;
+  rec.matrix = m;
+  rec.solver = s;
+  rec.platform = p;
+  rec.iterations = result.iterations;
+  rec.status = solve::status_name(result.status);
+  rec.final_residual = result.final_residual;
+  rec.true_residual = result.true_residual;
+  rec.wall_seconds = wall;
+  cache.put(rec);
+
+  if (!trace_csv.empty()) write_trace(trace_csv, result.trace);
+  RF_LOG_INFO("%s/%s/%s: %s in %ld iterations (%.2fs host)", m.c_str(),
+              s.c_str(), p.c_str(), rec.status.c_str(), rec.iterations, wall);
+  return rec;
+}
+
+SpeedupRow compute_speedups(const MatrixBundle& bundle, SolverKind solver,
+                            const SolveRecord& rec_double,
+                            const SolveRecord& rec_feinberg,
+                            const SolveRecord& rec_refloat) {
+  const arch::SolverProfile profile = solver == SolverKind::kCg
+                                          ? arch::cg_profile()
+                                          : arch::bicgstab_profile();
+  const arch::GpuModel gpu;
+  const long n = bundle.a.rows();
+
+  SpeedupRow row;
+  row.gpu_seconds = arch::gpu_solve_seconds(gpu, bundle.a.nnz(), n,
+                                            rec_double.iterations, profile);
+
+  const double t_fc =
+      arch::accelerator_solve_time(arch::feinberg_config(),
+                                   bundle.nonzero_blocks, n,
+                                   rec_double.iterations, profile)
+          .total_seconds;
+  row.feinberg_fc = row.gpu_seconds / t_fc;
+
+  if (rec_feinberg.converged()) {
+    const double t_fb =
+        arch::accelerator_solve_time(arch::feinberg_config(),
+                                     bundle.nonzero_blocks, n,
+                                     rec_feinberg.iterations, profile)
+            .total_seconds;
+    row.feinberg = row.gpu_seconds / t_fb;
+  }
+  if (rec_refloat.converged()) {
+    const double t_rf =
+        arch::accelerator_solve_time(arch::refloat_config(bundle.format),
+                                     bundle.nonzero_blocks, n,
+                                     rec_refloat.iterations, profile)
+            .total_seconds;
+    row.refloat = row.gpu_seconds / t_rf;
+  }
+  return row;
+}
+
+std::string results_dir() {
+  const std::string dir = "results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+}  // namespace refloat::bench

@@ -1,0 +1,104 @@
+// Shared benchmark harness.
+//
+// Every bench binary reproduces one table/figure of the paper's evaluation
+// (§VI). The expensive inputs — generated suite matrices and solver runs —
+// are cached under the data directory ($REFLOAT_DATA_DIR or ./data):
+//   data/<matrix>.csr                  generated matrix
+//   data/results/solves.csv            one row per (matrix, solver, platform)
+//   results/<bench>.csv                the emitted series for re-plotting
+// so the full bench sweep is idempotent: the first run computes, repeats
+// reload.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/arch/config.h"
+#include "src/arch/gpu_model.h"
+#include "src/arch/timing.h"
+#include "src/core/refloat_matrix.h"
+#include "src/gen/suite.h"
+#include "src/solvers/solver.h"
+
+namespace refloat::bench {
+
+enum class Platform { kDouble, kRefloat, kFeinberg };
+enum class SolverKind { kCg, kBicgstab };
+
+const char* platform_name(Platform platform);
+const char* solver_name(SolverKind solver);
+
+// A suite matrix plus everything the experiments derive from it.
+struct MatrixBundle {
+  const gen::SuiteSpec* spec = nullptr;
+  sparse::Csr a;
+  std::vector<double> b;
+  core::Format format;        // Table VII format incl. fv override
+  std::size_t nonzero_blocks = 0;  // at b = 7 (128x128 crossbars)
+};
+
+MatrixBundle load_bundle(const gen::SuiteSpec& spec);
+
+// One functional solver run.
+struct SolveRecord {
+  std::string matrix;
+  std::string solver;
+  std::string platform;
+  long iterations = 0;
+  std::string status;        // solve::status_name
+  double final_residual = 0.0;
+  double true_residual = 0.0;
+  double wall_seconds = 0.0;  // host simulation time (diagnostic only)
+
+  [[nodiscard]] bool converged() const { return status == "converged"; }
+};
+
+// CSV-backed cache of solve records keyed by matrix/solver/platform.
+class ResultCache {
+ public:
+  explicit ResultCache(const std::string& path);
+  ~ResultCache();
+
+  std::optional<SolveRecord> get(const std::string& matrix,
+                                 const std::string& solver,
+                                 const std::string& platform) const;
+  void put(const SolveRecord& record);
+
+ private:
+  void save() const;
+  std::string path_;
+  std::map<std::string, SolveRecord> records_;
+  bool dirty_ = false;
+};
+
+// Default solver options for the evaluation (tau = 1e-8, stall detection
+// for the Feinberg stagnation cases).
+solve::SolveOptions evaluation_options();
+
+// Runs (or fetches) one solve. When trace_csv is non-empty and the solve
+// executes, the residual trace is written there (one "iter,residual" row
+// per iteration). Cache hits skip the run unless `need_trace` is set and
+// the trace file is missing.
+SolveRecord run_solve(const MatrixBundle& bundle, SolverKind solver,
+                      Platform platform, ResultCache& cache,
+                      const std::string& trace_csv = "",
+                      bool need_trace = false);
+
+// Modeled solver-time speedups vs the GPU baseline (Fig. 8's bars).
+struct SpeedupRow {
+  double gpu_seconds = 0.0;
+  double feinberg_fc = 0.0;   // assumes double's iteration count
+  double feinberg = 0.0;      // 0 when the functional run did not converge
+  double refloat = 0.0;       // 0 when the functional run did not converge
+};
+
+SpeedupRow compute_speedups(const MatrixBundle& bundle, SolverKind solver,
+                            const SolveRecord& rec_double,
+                            const SolveRecord& rec_feinberg,
+                            const SolveRecord& rec_refloat);
+
+// Directory helpers.
+std::string results_dir();  // "results" (created on demand)
+
+}  // namespace refloat::bench
