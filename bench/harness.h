@@ -7,7 +7,7 @@
 //   data/results/solves.csv            one row per (matrix, solver, platform)
 //   results/<bench>.csv                the emitted series for re-plotting
 // so the full bench sweep is idempotent: the first run computes, repeats
-// reload.
+// reload. The on-disk formats are specified in docs/DATA_FORMATS.md.
 #pragma once
 
 #include <map>

@@ -1,0 +1,33 @@
+#include "src/arch/config.h"
+
+#include "src/arch/cost.h"
+
+namespace refloat::arch {
+
+long long clusters(const AcceleratorConfig& config) {
+  const long per_cluster = crossbars_per_cluster(config.format);
+  return per_cluster > 0 ? config.total_crossbars / per_cluster : 0;
+}
+
+AcceleratorConfig refloat_config(const core::Format& format) {
+  AcceleratorConfig config;
+  config.name = "refloat";
+  config.format = format;
+  return config;
+}
+
+AcceleratorConfig feinberg_config() {
+  AcceleratorConfig config;
+  config.name = "feinberg";
+  config.format = core::Format{.b = 7, .e = 6, .f = 52, .ev = 6, .fv = 52};
+  return config;
+}
+
+AcceleratorConfig fp64_reram_config() {
+  AcceleratorConfig config;
+  config.name = "fp64-reram";
+  config.format = core::Format{.b = 7, .e = 11, .f = 52, .ev = 11, .fv = 52};
+  return config;
+}
+
+}  // namespace refloat::arch

@@ -1,0 +1,36 @@
+// Accelerator platform description (paper Table IV): 128x128 ReRAM
+// crossbars, 17.18 Gb (2^20 crossbars) of compute ReRAM, 107 ns per
+// crossbar operation, 50.88 ns per row write. A "cluster" is the group of
+// crossbars holding one 2^b x 2^b block in a given format; the format
+// decides how many crossbars that takes (Eq. 2) and the chip capacity
+// decides how many clusters fit.
+#pragma once
+
+#include "src/core/format.h"
+
+namespace refloat::arch {
+
+struct AcceleratorConfig {
+  const char* name = "refloat";
+  core::Format format;
+  int crossbar_bits = 7;                    // 128x128 crossbars
+  long long total_crossbars = 1LL << 20;    // 17.18 Gb / (128*128 b)
+  double op_latency_ns = 107.0;             // per crossbar op (Table IV)
+  double row_write_ns = 50.88;              // per crossbar row write
+  bool overlap_write_compute = true;        // double-buffered reprogramming
+  // Digital vector unit (dots/axpys between SpMVs).
+  long vector_lanes = 128;
+  double vector_ns_per_element = 1.0;
+};
+
+// Clusters the chip can hold in this config's format.
+long long clusters(const AcceleratorConfig& config);
+
+// ReFloat in the given (possibly fv-overridden) format.
+AcceleratorConfig refloat_config(const core::Format& format);
+// Feinberg et al. [32]: e=6, f=52 block fixed point.
+AcceleratorConfig feinberg_config();
+// Strawman FP64-in-ReRAM (e=11, f=52): 8404 crossbars / 4201 cycles.
+AcceleratorConfig fp64_reram_config();
+
+}  // namespace refloat::arch

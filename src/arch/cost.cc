@@ -1,0 +1,28 @@
+#include "src/arch/cost.h"
+
+namespace refloat::arch {
+
+long crossbars_per_cluster(const core::Format& format) {
+  return 4 * core::model_bits(format.e, format.f);
+}
+
+long cycles_per_block_mvm(const core::Format& format) {
+  return core::model_bits(format.ev, format.fv) +
+         core::model_bits(format.e, format.f) - 1;
+}
+
+DeploymentCost deployment_cost(const AcceleratorConfig& config,
+                               std::size_t nonzero_blocks) {
+  DeploymentCost cost;
+  cost.clusters_available = clusters(config);
+  cost.clusters_needed = static_cast<long long>(nonzero_blocks);
+  if (cost.clusters_available > 0 && cost.clusters_needed > 0) {
+    cost.rounds = static_cast<long>(
+        (cost.clusters_needed + cost.clusters_available - 1) /
+        cost.clusters_available);
+  }
+  cost.resident = cost.rounds <= 1;
+  return cost;
+}
+
+}  // namespace refloat::arch

@@ -1,0 +1,27 @@
+// The paper's closed-form per-cluster cost model:
+//   Eq. 2: crossbars per cluster = 4 * N(e, f),   N(e, f) = 2^e + f + 1
+//   Eq. 3: cycles per block MVM  = N(ev, fv) + N(e, f) - 1
+// (bit-serial input streaming pipelined against the output shift-add), plus
+// the deployment split of a matrix's nonzero blocks onto the chip.
+#pragma once
+
+#include <cstddef>
+
+#include "src/arch/config.h"
+
+namespace refloat::arch {
+
+long crossbars_per_cluster(const core::Format& format);
+long cycles_per_block_mvm(const core::Format& format);
+
+struct DeploymentCost {
+  long long clusters_available = 0;
+  long long clusters_needed = 0;  // = nonzero blocks
+  long rounds = 1;                // rewrite rounds per SpMV pass
+  bool resident = true;           // rounds == 1: matrix stays programmed
+};
+
+DeploymentCost deployment_cost(const AcceleratorConfig& config,
+                               std::size_t nonzero_blocks);
+
+}  // namespace refloat::arch

@@ -1,0 +1,42 @@
+#include "src/arch/energy.h"
+
+#include "src/arch/cost.h"
+
+namespace refloat::arch {
+
+SolveEnergy accelerator_solve_energy(const AcceleratorConfig& config,
+                                     const EnergyModel& energy,
+                                     std::size_t nonzero_blocks, long long n,
+                                     long iterations,
+                                     const SolverProfile& profile) {
+  SolveEnergy out;
+  const DeploymentCost cost = deployment_cost(config, nonzero_blocks);
+  const double blocks = static_cast<double>(nonzero_blocks);
+  const double spmvs = static_cast<double>(iterations) *
+                       static_cast<double>(profile.spmvs_per_iteration);
+
+  // Each block MVM activates its cluster's crossbars once per streamed
+  // input bit plane.
+  const double ops_per_block =
+      static_cast<double>(crossbars_per_cluster(config.format)) *
+      static_cast<double>(core::model_bits(config.format.ev,
+                                           config.format.fv));
+  out.compute_joules = spmvs * blocks * ops_per_block *
+                       energy.crossbar_op_pj * 1e-12;
+
+  // Programming: every crossbar row of every block's cluster. Resident
+  // matrices program once; multi-round matrices re-program every pass.
+  const double writes_per_block =
+      static_cast<double>(crossbars_per_cluster(config.format)) *
+      static_cast<double>(1L << config.crossbar_bits);
+  const double programmings = cost.resident ? 1.0 : spmvs;
+  out.write_joules =
+      programmings * blocks * writes_per_block * energy.row_write_nj * 1e-9;
+
+  out.vector_joules = static_cast<double>(iterations) *
+                      static_cast<double>(profile.vector_ops_per_iteration) *
+                      static_cast<double>(n) * energy.mac_pj * 1e-12;
+  return out;
+}
+
+}  // namespace refloat::arch

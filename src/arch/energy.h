@@ -1,0 +1,36 @@
+// Modeled solve energy — an extension beyond the paper's time-only
+// evaluation. Per-op assumptions (45nm-class ReRAM macro literature):
+//   310 pJ per crossbar operation (read pulse + SAR ADC sample),
+//   1.2 nJ per crossbar row write (reprogramming),
+//   15 pJ per digital FP64 MAC in the vector unit.
+#pragma once
+
+#include <cstddef>
+
+#include "src/arch/config.h"
+#include "src/arch/timing.h"
+
+namespace refloat::arch {
+
+struct EnergyModel {
+  double crossbar_op_pj = 310.0;
+  double row_write_nj = 1.2;
+  double mac_pj = 15.0;
+};
+
+struct SolveEnergy {
+  double compute_joules = 0.0;  // crossbar ops
+  double write_joules = 0.0;    // (re)programming
+  double vector_joules = 0.0;   // digital vector unit
+  [[nodiscard]] double total_joules() const {
+    return compute_joules + write_joules + vector_joules;
+  }
+};
+
+SolveEnergy accelerator_solve_energy(const AcceleratorConfig& config,
+                                     const EnergyModel& energy,
+                                     std::size_t nonzero_blocks, long long n,
+                                     long iterations,
+                                     const SolverProfile& profile);
+
+}  // namespace refloat::arch

@@ -1,0 +1,23 @@
+#include "src/arch/gpu_model.h"
+
+#include <algorithm>
+
+namespace refloat::arch {
+
+double gpu_solve_seconds(const GpuModel& gpu, long long nnz, long long n,
+                         long iterations, const SolverProfile& profile) {
+  const double spmv_bytes = 12.0 * static_cast<double>(nnz);
+  const double spmv_flops = 2.0 * static_cast<double>(nnz);
+  const double spmv_seconds = std::max(spmv_bytes / gpu.mem_bandwidth_bytes,
+                                       spmv_flops / gpu.fp64_flops);
+  const double vector_seconds =
+      24.0 * static_cast<double>(n) / gpu.mem_bandwidth_bytes;
+  const double per_iteration =
+      static_cast<double>(profile.spmvs_per_iteration) * spmv_seconds +
+      static_cast<double>(profile.vector_ops_per_iteration) * vector_seconds +
+      static_cast<double>(profile.kernels_per_iteration) *
+          gpu.kernel_launch_seconds;
+  return static_cast<double>(iterations) * per_iteration;
+}
+
+}  // namespace refloat::arch

@@ -1,0 +1,24 @@
+// Roofline-style GPU baseline (the paper's solver-time reference, a Tesla
+// V100-class part): SpMV and vector kernels are memory-bound at peak
+// bandwidth, and every kernel pays a fixed launch overhead — which is what
+// actually dominates the paper's small/medium systems.
+#pragma once
+
+#include "src/arch/timing.h"
+
+namespace refloat::arch {
+
+struct GpuModel {
+  double mem_bandwidth_bytes = 900.0e9;  // HBM2 stream bandwidth
+  double fp64_flops = 7.8e12;            // peak FP64
+  double kernel_launch_seconds = 8.0e-6; // per kernel launch
+};
+
+// Modeled seconds for `iterations` solver iterations: per iteration,
+// profile.spmvs memory-bound SpMVs (12 bytes/nonzero: value + index +
+// output traffic), profile.vector_ops n-element streaming kernels
+// (24 bytes/element), and profile.kernels launch overheads.
+double gpu_solve_seconds(const GpuModel& gpu, long long nnz, long long n,
+                         long iterations, const SolverProfile& profile);
+
+}  // namespace refloat::arch

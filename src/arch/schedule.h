@@ -1,0 +1,28 @@
+// Event-timeline simulation of one SpMV pass: blocks are assigned to
+// clusters round by round, with the writer double-buffered against compute
+// when the config allows. The closed form in arch/timing.h is this
+// timeline's exact fixed point (bench_schedule cross-validates); the
+// timeline additionally yields the observables the closed form cannot —
+// utilization and stream traffic.
+#pragma once
+
+#include "src/arch/config.h"
+#include "src/sparse/blocked.h"
+
+namespace refloat::arch {
+
+struct ScheduleStats {
+  double seconds = 0.0;
+  long rounds = 1;
+  double cluster_utilization = 0.0;   // occupied cluster-rounds / available
+  long long matrix_stream_bits = 0;   // cell data re-streamed per pass
+  long long input_vector_bits = 0;    // quantized IV segments in
+  long long output_vector_bits = 0;   // partial OV segments out
+  double write_busy_seconds = 0.0;    // writer occupancy over the pass
+  double compute_busy_seconds = 0.0;  // cluster occupancy over the pass
+};
+
+ScheduleStats simulate_spmv(const AcceleratorConfig& config,
+                            const sparse::BlockedMatrix& blocked);
+
+}  // namespace refloat::arch

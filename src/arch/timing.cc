@@ -1,0 +1,64 @@
+#include "src/arch/timing.h"
+
+#include <algorithm>
+
+#include "src/arch/cost.h"
+
+namespace refloat::arch {
+
+SpmvTiming spmv_time(const AcceleratorConfig& config,
+                     std::size_t nonzero_blocks) {
+  SpmvTiming timing;
+  const DeploymentCost cost = deployment_cost(config, nonzero_blocks);
+  timing.rounds = cost.rounds;
+  timing.compute_seconds =
+      static_cast<double>(cycles_per_block_mvm(config.format)) *
+      config.op_latency_ns * 1e-9;
+  timing.write_seconds = static_cast<double>(1L << config.crossbar_bits) *
+                         config.row_write_ns * 1e-9;
+  if (cost.resident) {
+    // Matrix stays programmed across iterations; a pass is pure compute.
+    timing.seconds = timing.compute_seconds;
+  } else if (config.overlap_write_compute) {
+    // Write round 1, then compute round k while writing round k+1.
+    timing.seconds =
+        timing.write_seconds +
+        static_cast<double>(cost.rounds - 1) *
+            std::max(timing.compute_seconds, timing.write_seconds) +
+        timing.compute_seconds;
+  } else {
+    timing.seconds = static_cast<double>(cost.rounds) *
+                     (timing.write_seconds + timing.compute_seconds);
+  }
+  return timing;
+}
+
+SolverProfile cg_profile() { return SolverProfile{1, 5, 6}; }
+
+SolverProfile bicgstab_profile() { return SolverProfile{2, 10, 12}; }
+
+SolveTime accelerator_solve_time(const AcceleratorConfig& config,
+                                 std::size_t nonzero_blocks, long long n,
+                                 long iterations,
+                                 const SolverProfile& profile) {
+  SolveTime time;
+  const SpmvTiming spmv = spmv_time(config, nonzero_blocks);
+  const double lanes = static_cast<double>(std::max(config.vector_lanes, 1L));
+  const double vector_op_seconds =
+      static_cast<double>(n) / lanes * config.vector_ns_per_element * 1e-9;
+
+  time.spmv_seconds = static_cast<double>(iterations) *
+                      static_cast<double>(profile.spmvs_per_iteration) *
+                      spmv.seconds;
+  time.vector_seconds = static_cast<double>(iterations) *
+                        static_cast<double>(profile.vector_ops_per_iteration) *
+                        vector_op_seconds;
+  // A resident matrix pays its programming once up front; a non-resident one
+  // already pays per round inside spmv_time.
+  time.program_seconds = spmv.rounds <= 1 ? spmv.write_seconds : 0.0;
+  time.total_seconds =
+      time.spmv_seconds + time.vector_seconds + time.program_seconds;
+  return time;
+}
+
+}  // namespace refloat::arch

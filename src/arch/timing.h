@@ -1,0 +1,50 @@
+// Closed-form accelerator timing. One SpMV pass:
+//   * all clusters compute a round of blocks in parallel
+//     (cycles_per_block_mvm * op_latency);
+//   * a non-resident matrix (more blocks than clusters) is reprogrammed
+//     round by round (2^b rows * row_write_ns), double-buffered against
+//     compute when overlap_write_compute is set.
+// A solver iteration adds the digital vector ops of its profile.
+#pragma once
+
+#include <cstddef>
+
+#include "src/arch/config.h"
+
+namespace refloat::arch {
+
+struct SpmvTiming {
+  double seconds = 0.0;
+  long rounds = 1;
+  double compute_seconds = 0.0;  // per-round compute time
+  double write_seconds = 0.0;    // per-round reprogram time
+};
+
+SpmvTiming spmv_time(const AcceleratorConfig& config,
+                     std::size_t nonzero_blocks);
+
+// Operation counts of one solver iteration.
+struct SolverProfile {
+  int spmvs_per_iteration = 1;
+  int vector_ops_per_iteration = 5;  // dots + axpys, n elements each
+  int kernels_per_iteration = 6;     // GPU launch count (gpu_model)
+};
+
+SolverProfile cg_profile();        // 1 SpMV, 2 dots + 3 axpys
+SolverProfile bicgstab_profile();  // 2 SpMVs, 4 dots + 6 axpys
+
+struct SolveTime {
+  double total_seconds = 0.0;
+  double spmv_seconds = 0.0;
+  double vector_seconds = 0.0;
+  double program_seconds = 0.0;  // one-time initial programming
+};
+
+// Modeled accelerator time for `iterations` solver iterations on a matrix
+// with `nonzero_blocks` blocks and dimension n.
+SolveTime accelerator_solve_time(const AcceleratorConfig& config,
+                                 std::size_t nonzero_blocks, long long n,
+                                 long iterations,
+                                 const SolverProfile& profile);
+
+}  // namespace refloat::arch

@@ -1,0 +1,130 @@
+// The ReFloat number format and quantization policy (paper §IV).
+//
+// A ReFloat instance is written ReFloat(b, e, f)(ev, fv):
+//   b        log2 of the block side (b = 7 -> 128x128 blocks, one crossbar
+//            cluster per block). b = 0 disables blocking: values quantize as
+//            scalar IEEE-style floats with e exponent / f fraction bits.
+//   (e, f)   per-value exponent-offset and fraction bits for MATRIX entries.
+//            Each block carries one shared full-range base exponent; a value
+//            stores only its offset from the base, in e bits.
+//   (ev, fv) the same two widths for VECTOR segment entries.
+//
+// The paper's cost model (Eq. 2/3) depends only on these widths:
+//   bit planes per operand  N(e, f) = 2^e + f + 1
+//   crossbars per cluster   4 * N(e, f)      (signed quadrant pairs)
+//   cycles per block MVM    N(ev, fv) + N(e, f) - 1
+// which is why shrinking e is exponentially valuable: FP64-in-ReRAM
+// (e=11, f=52) needs 8404 crossbars and 4201 cycles per cluster; the default
+// ReFloat(7,3,3)(3,8) needs 48 and 28.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace refloat::core {
+
+struct Format {
+  int b = 7;   // log2 block side; 0 = no blocking (scalar format)
+  int e = 3;   // matrix exponent-offset bits
+  int f = 3;   // matrix fraction bits
+  int ev = 3;  // vector exponent-offset bits
+  int fv = 8;  // vector fraction bits
+};
+
+// N(e, f) = 2^e + f + 1 — fixed-point bit planes that cover the 2^e-position
+// exponent window at f fraction bits (Eq. 2's operand width).
+long model_bits(int e, int f);
+
+// Fig. 4 storage encoding, shared by the memory model and the schedule
+// simulator: per nonzero, 2b in-block index bits + sign + e + f; per block,
+// two block-grid coordinates + an 11-bit base exponent.
+long long storage_bits_per_value(const Format& format);
+long long storage_bits_per_block(const Format& format, long long block_grid);
+
+// Table VII default: ReFloat(7,3,3)(3,8).
+Format default_format();
+// Table VII override for wathen100 / Dubcova2: fv = 16.
+Format default_format_fv16();
+
+// §II-C format zoo, expressed as ReFloat instances.
+Format format_bfp64();          // BFP64          = ReFloat(6,0,52)
+Format format_bfloat16();       // bfloat16       = ReFloat(0,8,7)
+Format format_msfp9();          // ms-fp9         = ReFloat(0,5,3)
+Format format_tensorfloat32();  // TensorFloat32  = ReFloat(0,8,10)
+Format format_fp32();           // FP32           = ReFloat(0,8,23)
+Format format_fp64();           // FP64           = ReFloat(0,11,52)
+
+// --- Quantization policy -------------------------------------------------
+//
+// How a block picks its base exponent, how the e-bit offset window sits
+// around that base, and what happens to out-of-window values. The defaults
+// (max anchor, two's-complement window, gradual underflow) are the
+// reproduction's value-faithful reading; kMeanEq5 + kSymmetric is the
+// paper's literal §IV-B text (see bench_ablation_base for why the default
+// differs).
+
+enum class BaseMode {
+  kMaxAnchor,  // base = largest exponent in the block (default)
+  kMeanEq5,    // base = rounded mean exponent (paper Eq. 5)
+};
+
+enum class WindowMode {
+  // Offsets occupy [base - 2^e + 1, base]: the whole window sits at or
+  // below the anchor (the 2^e padding planes of Eq. 2).
+  kTwosComplement,
+  // Offsets occupy [base - 2^(e-1) + 1, base + 2^(e-1)]: centred on the
+  // anchor, half the window above it.
+  kSymmetric,
+};
+
+enum class UnderflowMode {
+  kDenormalize,              // round onto the window-floor grid (default)
+  kFlushToZero,              // drop below-window values
+  kClampOffsetKeepFraction,  // paper text: clamp offset, keep fraction
+                             // (inflates tiny values to the window floor)
+};
+
+enum class OverflowMode {
+  kSaturate,                 // largest representable magnitude (default)
+  kClampOffsetKeepFraction,  // paper text: clamp offset, keep fraction
+                             // (deflates huge values to the window ceiling)
+};
+
+struct QuantPolicy {
+  BaseMode base = BaseMode::kMaxAnchor;
+  WindowMode window = WindowMode::kTwosComplement;
+  UnderflowMode underflow = UnderflowMode::kDenormalize;
+  OverflowMode overflow = OverflowMode::kSaturate;
+};
+
+// Eq. 5 mean base + symmetric window — the paper's §IV-B wording taken
+// literally.
+QuantPolicy paper_literal_policy();
+
+// Tallies accumulated across quantize_value calls.
+struct QuantTally {
+  std::size_t values = 0;
+  std::size_t overflowed = 0;
+  std::size_t underflowed = 0;       // denormalized or clamped, not zeroed
+  std::size_t flushed_to_zero = 0;   // became exactly 0
+};
+
+// Shared base exponent for one block (or vector segment) of values, per the
+// policy's BaseMode. Zero entries are ignored; an all-zero span returns 0.
+int select_block_base(std::span<const double> values, int e_bits,
+                      const QuantPolicy& policy);
+
+// Lowest representable exponent of the offset window anchored at `base` —
+// the exponent of the fixed-point grid the hw datapath encodes against.
+int window_floor(int base, int e_bits, WindowMode mode);
+
+// Quantizes one value against a block base: e-bit offset window, f fraction
+// bits, out-of-window handling per policy. Returns the dequantized double.
+double quantize_value(double v, int base, int e_bits, int f_bits,
+                      const QuantPolicy& policy, QuantTally* tally);
+
+// Scalar IEEE-style quantization for b = 0 formats: e-bit biased exponent
+// range, f-bit fraction, gradual underflow, saturation at the top.
+double quantize_scalar(double v, int e_bits, int f_bits, QuantTally* tally);
+
+}  // namespace refloat::core

@@ -1,0 +1,94 @@
+// RefloatMatrix: a CSR matrix converted to the ReFloat block format —
+// per-block shared base exponent, e-bit per-value exponent offsets, f-bit
+// fractions (paper §IV). The conversion keeps both views:
+//   * the dequantized CSR (`quantized()`), for fast value-faithful SpMV, and
+//   * the per-block payload (`block_data()`), for the bit-true hw/ datapath
+//     and the storage model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/format.h"
+#include "src/sparse/csr.h"
+#include "src/util/random.h"
+
+namespace refloat::core {
+
+struct ConversionStats {
+  std::size_t values = 0;           // nonzeros quantized
+  std::size_t overflowed = 0;       // above the offset window
+  std::size_t underflowed = 0;      // below it, but not zeroed
+  std::size_t flushed_to_zero = 0;  // became exactly zero
+  // Max over blocks of the offset bits a block actually needs:
+  // ceil(log2(spread of exponents within the block)).
+  int locality_bits = 0;
+  // ||A - quantized(A)||_F / ||A||_F.
+  double rel_error_fro = 0.0;
+};
+
+class RefloatMatrix {
+ public:
+  struct Entry {
+    std::int32_t r = 0;  // row within the block
+    std::int32_t c = 0;  // col within the block
+    double value = 0.0;  // dequantized value
+  };
+  struct BlockData {
+    sparse::Index row0 = 0;  // global row of the block's first row
+    sparse::Index col0 = 0;
+    int base = 0;            // shared base exponent
+    std::vector<Entry> entries;
+  };
+
+  RefloatMatrix(const sparse::Csr& a, const Format& format,
+                const QuantPolicy& policy = {});
+
+  [[nodiscard]] const Format& format() const { return format_; }
+  [[nodiscard]] const QuantPolicy& policy() const { return policy_; }
+  [[nodiscard]] const ConversionStats& stats() const { return stats_; }
+  // Dequantized matrix (exact-value view of the quantized operator).
+  [[nodiscard]] const sparse::Csr& quantized() const { return quantized_; }
+  [[nodiscard]] std::size_t nonzero_blocks() const { return blocks_.size(); }
+  [[nodiscard]] const std::vector<BlockData>& block_data() const {
+    return blocks_;
+  }
+
+  // --- Fig. 4 storage model ----------------------------------------------
+  // Per nonzero: 2b in-block index bits + sign + e + f.
+  // Per block: block-grid coordinates + an 11-bit base exponent.
+  [[nodiscard]] long long storage_bits() const;
+  [[nodiscard]] long long baseline_coo_bits() const;  // 128 bits/nonzero
+  [[nodiscard]] long long baseline_csr_bits() const;
+  [[nodiscard]] double memory_overhead_vs_coo() const;
+
+  // Quantizes a dense vector in ReFloat vector format: per 2^b segment, a
+  // shared base (ev-bit window) and fv-bit fractions.
+  void quantize_vector(std::span<const double> x,
+                       std::span<double> out) const;
+
+  // y = quantize(A) * quantize(x). Accumulation is exact (the accelerator
+  // accumulates digitally after the ADC). `scratch` holds the quantized
+  // input between calls to avoid reallocation.
+  void spmv_refloat(std::span<const double> x, std::span<double> y,
+                    std::vector<double>& scratch) const;
+
+  // Same, with multiplicative Gaussian noise of deviation `sigma` applied to
+  // every per-block row partial — the RTN conductance-noise model of Fig. 10.
+  void spmv_refloat_noisy(std::span<const double> x, std::span<double> y,
+                          std::vector<double>& scratch, double sigma,
+                          util::Rng& rng) const;
+
+ private:
+  Format format_;
+  QuantPolicy policy_;
+  ConversionStats stats_;
+  sparse::Csr quantized_;
+  std::vector<BlockData> blocks_;  // empty when format_.b == 0
+  sparse::Index original_nnz_ = 0;
+  sparse::Index rows_ = 0;
+  sparse::Index cols_ = 0;
+};
+
+}  // namespace refloat::core

@@ -1,0 +1,151 @@
+#include "src/gen/grid.h"
+
+#include <cmath>
+
+namespace refloat::gen {
+
+namespace {
+
+StencilSpec make2d(Index nx, Index ny, std::vector<StencilTap> taps) {
+  StencilSpec spec;
+  spec.nx = nx;
+  spec.ny = ny;
+  spec.nz = 1;
+  spec.taps = std::move(taps);
+  return spec;
+}
+
+}  // namespace
+
+StencilSpec laplace2d_5pt(Index nx, Index ny) {
+  return make2d(nx, ny,
+                {{0, 0, 0, 4.0},
+                 {1, 0, 0, -1.0},
+                 {-1, 0, 0, -1.0},
+                 {0, 1, 0, -1.0},
+                 {0, -1, 0, -1.0}});
+}
+
+StencilSpec laplace2d_9pt(Index nx, Index ny) {
+  std::vector<StencilTap> taps = {{0, 0, 0, 8.0}};
+  for (int dx = -1; dx <= 1; ++dx) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      if (dx == 0 && dy == 0) continue;
+      taps.push_back({dx, dy, 0, -1.0});
+    }
+  }
+  return make2d(nx, ny, std::move(taps));
+}
+
+StencilSpec laplace2d_13pt(Index nx, Index ny) {
+  // Fourth-order accurate Laplacian: 1D weights [-1/12, 4/3, -5/2, 4/3, -1/12]
+  // applied per axis.
+  std::vector<StencilTap> taps = {{0, 0, 0, 5.0}};
+  const double w1 = -4.0 / 3.0;
+  const double w2 = 1.0 / 12.0;
+  for (const int d : {-2, -1, 1, 2}) {
+    const double w = (d == 1 || d == -1) ? w1 : w2;
+    taps.push_back({d, 0, 0, w});
+    taps.push_back({0, d, 0, w});
+  }
+  return make2d(nx, ny, std::move(taps));
+}
+
+StencilSpec laplace3d_7pt(Index nx, Index ny, Index nz) {
+  StencilSpec spec;
+  spec.nx = nx;
+  spec.ny = ny;
+  spec.nz = nz;
+  spec.taps = {{0, 0, 0, 6.0},  {1, 0, 0, -1.0}, {-1, 0, 0, -1.0},
+               {0, 1, 0, -1.0}, {0, -1, 0, -1.0}, {0, 0, 1, -1.0},
+               {0, 0, -1, -1.0}};
+  return spec;
+}
+
+StencilSpec mass3d_27pt(Index nx, Index ny, Index nz) {
+  StencilSpec spec;
+  spec.nx = nx;
+  spec.ny = ny;
+  spec.nz = nz;
+  // Trilinear FEM mass weights: [1 4 1]/6 per axis, tensor product.
+  const double w1d[3] = {1.0 / 6.0, 4.0 / 6.0, 1.0 / 6.0};
+  for (int dx = -1; dx <= 1; ++dx) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dz = -1; dz <= 1; ++dz) {
+        spec.taps.push_back(
+            {dx, dy, dz, w1d[dx + 1] * w1d[dy + 1] * w1d[dz + 1]});
+      }
+    }
+  }
+  return spec;
+}
+
+sparse::Csr build_stencil(const StencilSpec& spec) {
+  const Index nx = spec.nx;
+  const Index ny = spec.ny;
+  const Index nz = spec.nz;
+  const Index n = nx * ny * nz;
+  std::vector<sparse::Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(n) * spec.taps.size());
+  for (Index z = 0; z < nz; ++z) {
+    for (Index y = 0; y < ny; ++y) {
+      for (Index x = 0; x < nx; ++x) {
+        const Index row = x + nx * (y + ny * z);
+        for (const StencilTap& tap : spec.taps) {
+          const Index tx = x + tap.dx;
+          const Index ty = y + tap.dy;
+          const Index tz = z + tap.dz;
+          if (tx < 0 || tx >= nx || ty < 0 || ty >= ny || tz < 0 ||
+              tz >= nz) {
+            continue;  // Dirichlet: neighbours off the grid are dropped
+          }
+          triplets.push_back({row, tx + nx * (ty + ny * tz), tap.w});
+        }
+      }
+    }
+  }
+  return sparse::Csr::from_triplets(n, n, std::move(triplets));
+}
+
+void stencil_eigen_range(const StencilSpec& spec, double* lambda_min,
+                         double* lambda_max) {
+  // For symmetric constant stencils on the Dirichlet grid, the eigenvalues
+  // are (to boundary-truncation accuracy for taps reaching past distance 1)
+  //   lambda(i,j,k) = sum_t w_t cos(dx_t a) cos(dy_t b) cos(dz_t c)
+  // with a = pi i/(nx+1) etc. Brute-force the index grid.
+  const double pi = 3.14159265358979323846;
+  double lo = 0.0;
+  double hi = 0.0;
+  bool first = true;
+  for (Index i = 1; i <= spec.nx; ++i) {
+    const double a = pi * static_cast<double>(i) /
+                     static_cast<double>(spec.nx + 1);
+    for (Index j = 1; j <= spec.ny; ++j) {
+      const double b = pi * static_cast<double>(j) /
+                       static_cast<double>(spec.ny + 1);
+      for (Index k = 1; k <= spec.nz; ++k) {
+        const double c = pi * static_cast<double>(k) /
+                         static_cast<double>(spec.nz + 1);
+        double lambda = 0.0;
+        for (const StencilTap& tap : spec.taps) {
+          lambda += tap.w * std::cos(tap.dx * a) * std::cos(tap.dy * b) *
+                    std::cos(tap.dz * c);
+        }
+        if (first || lambda < lo) lo = lambda;
+        if (first || lambda > hi) hi = lambda;
+        first = false;
+      }
+    }
+  }
+  *lambda_min = lo;
+  *lambda_max = hi;
+}
+
+double shift_for_kappa(const StencilSpec& spec, double kappa) {
+  double lo = 0.0;
+  double hi = 0.0;
+  stencil_eigen_range(spec, &lo, &hi);
+  return (hi - kappa * lo) / (kappa - 1.0);
+}
+
+}  // namespace refloat::gen

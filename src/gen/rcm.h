@@ -1,0 +1,22 @@
+// Symmetric matrix reordering: Reverse Cuthill-McKee (bandwidth reduction)
+// and a Fiedler-vector spectral ordering. Both return a permutation with
+// perm[new_index] = old_index, directly usable with Csr::permuted_symmetric.
+#pragma once
+
+#include <vector>
+
+#include "src/sparse/csr.h"
+
+namespace refloat::gen {
+
+std::vector<sparse::Index> rcm_permutation(const sparse::Csr& a);
+
+// Orders nodes by an approximate Fiedler vector of the adjacency graph's
+// Laplacian (deflated power iteration) — an alternative envelope-reducing
+// ordering for meshes where RCM's BFS levels fragment.
+std::vector<sparse::Index> spectral_permutation(const sparse::Csr& a);
+
+// Largest |i - j| over stored entries.
+sparse::Index bandwidth(const sparse::Csr& a);
+
+}  // namespace refloat::gen

@@ -1,0 +1,92 @@
+#include "src/gen/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/sparse/vector_ops.h"
+#include "src/util/random.h"
+
+namespace refloat::gen {
+
+namespace {
+
+// Eigenvalue count of the symmetric tridiagonal (alpha, beta) strictly below
+// x (Sturm sequence).
+int sturm_count(const std::vector<double>& alpha,
+                const std::vector<double>& beta, double x) {
+  int count = 0;
+  double d = 1.0;
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    const double off = i == 0 ? 0.0 : beta[i - 1];
+    d = alpha[i] - x - off * off / (d == 0.0 ? 1e-300 : d);
+    if (d < 0.0) ++count;
+  }
+  return count;
+}
+
+double bisect_eigen(const std::vector<double>& alpha,
+                    const std::vector<double>& beta, int index, double lo,
+                    double hi) {
+  for (int iter = 0; iter < 200 && hi - lo > 1e-14 * std::max(1.0, std::abs(hi));
+       ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (sturm_count(alpha, beta, mid) > index) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+SpectrumEstimate lanczos_extremes(const ApplyFn& op, std::size_t n, int steps,
+                                  std::uint64_t seed) {
+  steps = std::min<int>(steps, static_cast<int>(n));
+  util::Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.gaussian();
+  const double v_norm = sparse::norm2(v);
+  for (double& x : v) x /= v_norm;
+
+  std::vector<double> v_prev(n, 0.0);
+  std::vector<double> w(n);
+  std::vector<double> alpha;
+  std::vector<double> beta;
+  alpha.reserve(static_cast<std::size_t>(steps));
+  double beta_prev = 0.0;
+  for (int k = 0; k < steps; ++k) {
+    op(v, w);
+    const double a = sparse::dot(v, w);
+    alpha.push_back(a);
+    for (std::size_t i = 0; i < n; ++i) {
+      w[i] -= a * v[i] + beta_prev * v_prev[i];
+    }
+    const double b = sparse::norm2(w);
+    if (b < 1e-13 * std::abs(a) || k + 1 == steps) break;
+    beta.push_back(b);
+    beta_prev = b;
+    v_prev = v;
+    for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / b;
+  }
+
+  // Gershgorin bracket of the tridiagonal, then bisect the first and last
+  // eigenvalues.
+  double lo = alpha[0];
+  double hi = alpha[0];
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    const double left = i > 0 ? beta[i - 1] : 0.0;
+    const double right = i < beta.size() ? beta[i] : 0.0;
+    lo = std::min(lo, alpha[i] - left - right);
+    hi = std::max(hi, alpha[i] + left + right);
+  }
+  SpectrumEstimate est;
+  est.lambda_min = bisect_eigen(alpha, beta, 0, lo, hi);
+  est.lambda_max =
+      bisect_eigen(alpha, beta, static_cast<int>(alpha.size()) - 1, lo, hi);
+  return est;
+}
+
+}  // namespace refloat::gen

@@ -1,0 +1,26 @@
+// Lanczos extreme-eigenvalue estimation for the Table V condition-number
+// column. Plain Lanczos without reorthogonalization: lambda_max converges
+// fast; lambda_min is an *upper bound* that reads low for ill-conditioned
+// matrices (a caveat bench_table5 reports explicitly).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace refloat::gen {
+
+struct SpectrumEstimate {
+  double lambda_min = 0.0;
+  double lambda_max = 0.0;
+  [[nodiscard]] double kappa() const {
+    return lambda_min > 0.0 ? lambda_max / lambda_min : 0.0;
+  }
+};
+
+using ApplyFn = std::function<void(std::span<const double>, std::span<double>)>;
+
+SpectrumEstimate lanczos_extremes(const ApplyFn& op, std::size_t n, int steps,
+                                  std::uint64_t seed);
+
+}  // namespace refloat::gen

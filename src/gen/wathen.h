@@ -1,0 +1,14 @@
+// Structurally exact Wathen matrix (Higham's gallery('wathen', nx, ny)):
+// the FEM mass matrix of nx x ny serendipity quadrilaterals with random
+// element densities rho in (0, 100). SPD, n = 3 nx ny + 2 nx + 2 ny + 1.
+#pragma once
+
+#include <cstdint>
+
+#include "src/sparse/csr.h"
+
+namespace refloat::gen {
+
+sparse::Csr wathen(sparse::Index nx, sparse::Index ny, std::uint64_t seed);
+
+}  // namespace refloat::gen

@@ -1,0 +1,208 @@
+#include "src/hw/engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace refloat::hw {
+
+namespace {
+
+// Deterministic per-cell-bit hash in [0, 1) for fault selection.
+double cell_hash(std::uint64_t seed, int row, int col, int plane) {
+  std::uint64_t x = seed ^ (static_cast<std::uint64_t>(row) << 40) ^
+                    (static_cast<std::uint64_t>(col) << 20) ^
+                    static_cast<std::uint64_t>(plane);
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+std::vector<std::vector<std::uint64_t>> polarity_codes(
+    const std::vector<std::vector<double>>& block, int base,
+    const core::Format& format, const core::QuantPolicy& policy,
+    double cell_step, bool positive) {
+  std::vector<std::vector<std::uint64_t>> codes(
+      block.size(), std::vector<std::uint64_t>(
+                        block.empty() ? 0 : block[0].size(), 0));
+  for (std::size_t r = 0; r < block.size(); ++r) {
+    for (std::size_t c = 0; c < block[r].size(); ++c) {
+      const double v = block[r][c];
+      if (v == 0.0 || (v > 0.0) != positive) continue;
+      const double q =
+          core::quantize_value(v, base, format.e, format.f, policy, nullptr);
+      codes[r][c] =
+          static_cast<std::uint64_t>(std::llround(std::abs(q) / cell_step));
+    }
+  }
+  return codes;
+}
+
+}  // namespace
+
+CrossbarCluster::CrossbarCluster(
+    const std::vector<std::vector<std::uint64_t>>& m, int planes,
+    ClusterConfig config)
+    : rows_(static_cast<int>(m.size())),
+      cols_(m.empty() ? 0 : static_cast<int>(m[0].size())),
+      planes_(planes),
+      words_((cols_ + 63) / 64),
+      config_(config) {
+  plane_bits_.assign(
+      static_cast<std::size_t>(planes_),
+      std::vector<std::uint64_t>(
+          static_cast<std::size_t>(rows_) * static_cast<std::size_t>(words_),
+          0));
+  const double sa0 = config_.faults.stuck_at_zero_rate;
+  const double sa1 = config_.faults.stuck_at_one_rate;
+  for (int p = 0; p < planes_; ++p) {
+    auto& bits = plane_bits_[static_cast<std::size_t>(p)];
+    for (int r = 0; r < rows_; ++r) {
+      for (int c = 0; c < cols_; ++c) {
+        bool bit =
+            ((m[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] >>
+              p) &
+             1ull) != 0;
+        if (sa0 > 0.0 || sa1 > 0.0) {
+          // The same hash (same seed) selects the same cells for either
+          // polarity of fault — losing a programmed bit and gaining a
+          // spurious one are mirror events on one defect population.
+          const double u = cell_hash(config_.faults.seed, r, c, p);
+          if (u < sa0 && bit) {
+            bit = false;
+            ++faulty_cells_;
+          } else if (u < sa1 && !bit) {
+            bit = true;
+            ++faulty_cells_;
+          }
+        }
+        if (bit) {
+          bits[static_cast<std::size_t>(r) * words_ + c / 64] |=
+              1ull << (c % 64);
+        }
+      }
+    }
+  }
+}
+
+void CrossbarCluster::mvm(const std::vector<std::uint64_t>& x, int x_bits,
+                          std::vector<std::int64_t>& y, EngineStats* stats,
+                          util::Rng& rng) const {
+  std::fill(y.begin(), y.end(), 0);
+  const std::int64_t full_scale = (std::int64_t{1} << config_.adc.bits) - 1;
+  std::vector<std::uint64_t> x_mask(static_cast<std::size_t>(words_));
+  for (int q = 0; q < x_bits; ++q) {
+    std::fill(x_mask.begin(), x_mask.end(), 0);
+    bool any = false;
+    for (int c = 0; c < cols_ && c < static_cast<int>(x.size()); ++c) {
+      if ((x[static_cast<std::size_t>(c)] >> q) & 1ull) {
+        x_mask[static_cast<std::size_t>(c / 64)] |= 1ull << (c % 64);
+        any = true;
+      }
+    }
+    if (!any) continue;
+    for (int p = 0; p < planes_; ++p) {
+      const auto& bits = plane_bits_[static_cast<std::size_t>(p)];
+      for (int r = 0; r < rows_; ++r) {
+        std::int64_t sample = 0;
+        const std::size_t base = static_cast<std::size_t>(r) * words_;
+        for (int w = 0; w < words_; ++w) {
+          sample += std::popcount(bits[base + w] &
+                                  x_mask[static_cast<std::size_t>(w)]);
+        }
+        if (stats != nullptr) ++stats->crossbar_ops;
+        if (sample == 0) continue;
+        if (config_.noise.sigma > 0.0) {
+          sample = std::llround(static_cast<double>(sample) *
+                                (1.0 + config_.noise.sigma * rng.gaussian()));
+          if (sample < 0) sample = 0;
+        }
+        if (sample > full_scale) {
+          sample = full_scale;
+          if (stats != nullptr) ++stats->adc_clips;
+        }
+        y[static_cast<std::size_t>(r)] += sample << (p + q);
+      }
+    }
+  }
+}
+
+namespace {
+
+// The shift-add accumulator is 64 bits wide: plane index + input-bit index
+// must stay below 63 or `sample << (p + q)` is undefined. Wide formats
+// (e.g. BFP64's 54 + 54 planes) belong on the value-faithful path.
+int checked_planes(const core::Format& format) {
+  const long planes = core::model_bits(format.e, format.f);
+  const long x_bits = core::model_bits(format.ev, format.fv);
+  if (planes + x_bits - 2 > 62) {
+    throw std::invalid_argument(
+        "ProcessingEngine: format too wide for the 64-bit bit-serial "
+        "datapath");
+  }
+  return static_cast<int>(planes);
+}
+
+}  // namespace
+
+ProcessingEngine::ProcessingEngine(
+    const std::vector<std::vector<double>>& block, int base,
+    const core::Format& format, ClusterConfig config,
+    core::QuantPolicy policy)
+    : side_(static_cast<int>(block.size())),
+      base_(base),
+      format_(format),
+      config_(config),
+      policy_(policy),
+      cell_step_(std::ldexp(
+          1.0, core::window_floor(base, format.e, policy.window) - format.f)),
+      positive_(polarity_codes(block, base, format, policy_, cell_step_, true),
+                checked_planes(format), config),
+      negative_(
+          polarity_codes(block, base, format, policy_, cell_step_, false),
+          checked_planes(format), config) {}
+
+void ProcessingEngine::apply(std::span<const double> x, std::span<double> y,
+                             EngineStats* stats, util::Rng& rng) const {
+  // Quantize the incoming segment in ReFloat vector format and split it
+  // into positive / negative bit-serial phases.
+  const int base_x = core::select_block_base(x, format_.ev, policy_);
+  const double step_x = std::ldexp(
+      1.0, core::window_floor(base_x, format_.ev, policy_.window) -
+               format_.fv);
+  const int x_bits =
+      static_cast<int>(core::model_bits(format_.ev, format_.fv));
+
+  std::vector<std::uint64_t> x_pos(x.size(), 0);
+  std::vector<std::uint64_t> x_neg(x.size(), 0);
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    const double q = core::quantize_value(x[j], base_x, format_.ev,
+                                          format_.fv, policy_, nullptr);
+    const auto code =
+        static_cast<std::uint64_t>(std::llround(std::abs(q) / step_x));
+    if (q > 0.0) {
+      x_pos[j] = code;
+    } else if (q < 0.0) {
+      x_neg[j] = code;
+    }
+  }
+
+  std::vector<std::int64_t> pp(static_cast<std::size_t>(side_));
+  std::vector<std::int64_t> pn(static_cast<std::size_t>(side_));
+  std::vector<std::int64_t> np(static_cast<std::size_t>(side_));
+  std::vector<std::int64_t> nn(static_cast<std::size_t>(side_));
+  positive_.mvm(x_pos, x_bits, pp, stats, rng);
+  positive_.mvm(x_neg, x_bits, pn, stats, rng);
+  negative_.mvm(x_pos, x_bits, np, stats, rng);
+  negative_.mvm(x_neg, x_bits, nn, stats, rng);
+
+  const double scale = cell_step_ * step_x;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] += scale * static_cast<double>(pp[i] - pn[i] - np[i] + nn[i]);
+  }
+}
+
+}  // namespace refloat::hw

@@ -1,0 +1,104 @@
+// Bit-true crossbar datapath (paper §V): cell values are bit-sliced across
+// planes of a 2^b x 2^b crossbar, inputs stream in bit-serially, and every
+// (plane, input-bit) partial passes through a clipping ADC before the
+// digital shift-add. This is the value-exact model of what the arch/ layer
+// only prices — used by the ADC/fault ablations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/format.h"
+#include "src/util/random.h"
+
+namespace refloat::hw {
+
+struct AdcConfig {
+  int bits = 10;  // Table IV provisions a 10-bit SAR ADC
+};
+
+struct FaultConfig {
+  double stuck_at_zero_rate = 0.0;
+  double stuck_at_one_rate = 0.0;
+  std::uint64_t seed = 0x5eedULL;  // cell-selection hash seed
+};
+
+struct NoiseConfig {
+  double sigma = 0.0;  // relative RTN deviation on each ADC sample
+};
+
+struct ClusterConfig {
+  AdcConfig adc;
+  FaultConfig faults;
+  NoiseConfig noise;
+};
+
+struct EngineStats {
+  long long crossbar_ops = 0;  // (plane, input-bit, row) ADC samples
+  long long adc_clips = 0;     // samples clipped at full scale
+  long long faulty_cells = 0;  // cell-bits altered by stuck-at faults
+};
+
+// One signed-magnitude polarity of a block: integer cell codes bit-sliced
+// into planes, with stuck-at faults applied at programming time. The same
+// FaultConfig seed selects the same faulty cells in every cluster of an
+// engine — the physical assumption behind the four-quadrant fault masking
+// bench_ablation_faults demonstrates.
+class CrossbarCluster {
+ public:
+  CrossbarCluster(const std::vector<std::vector<std::uint64_t>>& m,
+                  int planes, ClusterConfig config = {});
+
+  // y[i] = sum_j m[i][j] * x[j], computed plane-by-plane and input-bit by
+  // input-bit through the ADC. x entries must fit in x_bits.
+  void mvm(const std::vector<std::uint64_t>& x, int x_bits,
+           std::vector<std::int64_t>& y, EngineStats* stats,
+           util::Rng& rng) const;
+
+  [[nodiscard]] int planes() const { return planes_; }
+  [[nodiscard]] long long faulty_cells() const { return faulty_cells_; }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  int planes_ = 0;
+  int words_ = 0;  // 64-bit words per row per plane
+  ClusterConfig config_;
+  long long faulty_cells_ = 0;
+  // plane_bits_[p][row * words_ + w]: bit j of cell (row, j) on plane p.
+  std::vector<std::vector<std::uint64_t>> plane_bits_;
+};
+
+// A full signed block: positive/negative cell quadrants x positive/negative
+// input phases, around the ReFloat encoding (base exponent + e-bit window +
+// f-bit fractions for the matrix; ev/fv for the streamed vector segment).
+class ProcessingEngine {
+ public:
+  // The policy must match the one the block was quantized with, or the
+  // re-encoding here diverges from the value-faithful path. Throws
+  // std::invalid_argument for formats too wide for the 64-bit shift-add
+  // datapath (planes + vector bits - 2 must stay below 63).
+  ProcessingEngine(const std::vector<std::vector<double>>& block, int base,
+                   const core::Format& format, ClusterConfig config = {},
+                   core::QuantPolicy policy = {});
+
+  // y += block * x in refloat semantics via the bit-true path. x and y span
+  // the engine's block side.
+  void apply(std::span<const double> x, std::span<double> y,
+             EngineStats* stats, util::Rng& rng) const;
+
+  [[nodiscard]] int side() const { return side_; }
+
+ private:
+  int side_ = 0;
+  int base_ = 0;
+  core::Format format_;
+  ClusterConfig config_;
+  core::QuantPolicy policy_;
+  double cell_step_ = 1.0;  // value of one matrix code unit
+  CrossbarCluster positive_;
+  CrossbarCluster negative_;
+};
+
+}  // namespace refloat::hw

@@ -1,0 +1,54 @@
+#include "src/hw/hw_spmv.h"
+
+#include <algorithm>
+
+namespace refloat::hw {
+
+HwSpmv::HwSpmv(const core::RefloatMatrix& rf, ClusterConfig config)
+    : rows_(rf.quantized().rows()),
+      cols_(rf.quantized().cols()),
+      side_(1 << rf.format().b) {
+  engines_.reserve(rf.nonzero_blocks());
+  std::vector<std::vector<double>> dense(
+      static_cast<std::size_t>(side_),
+      std::vector<double>(static_cast<std::size_t>(side_), 0.0));
+  for (const auto& block : rf.block_data()) {
+    for (auto& row : dense) std::fill(row.begin(), row.end(), 0.0);
+    for (const auto& entry : block.entries) {
+      dense[static_cast<std::size_t>(entry.r)]
+           [static_cast<std::size_t>(entry.c)] = entry.value;
+    }
+    engines_.push_back(
+        {block.row0, block.col0,
+         ProcessingEngine(dense, block.base, rf.format(), config,
+                          rf.policy())});
+  }
+  x_seg_.resize(static_cast<std::size_t>(side_));
+  y_seg_.resize(static_cast<std::size_t>(side_));
+}
+
+void HwSpmv::apply(std::span<const double> x, std::span<double> y,
+                   util::Rng& rng) {
+  std::fill(y.begin(), y.end(), 0.0);
+  for (const BlockEngine& be : engines_) {
+    // Gather the (possibly edge-truncated) input segment, zero-padded to the
+    // crossbar side.
+    const sparse::Index col_end =
+        std::min<sparse::Index>(be.col0 + side_, cols_);
+    std::fill(x_seg_.begin(), x_seg_.end(), 0.0);
+    for (sparse::Index c = be.col0; c < col_end; ++c) {
+      x_seg_[static_cast<std::size_t>(c - be.col0)] =
+          x[static_cast<std::size_t>(c)];
+    }
+    std::fill(y_seg_.begin(), y_seg_.end(), 0.0);
+    be.engine.apply(x_seg_, y_seg_, &stats_, rng);
+    const sparse::Index row_end =
+        std::min<sparse::Index>(be.row0 + side_, rows_);
+    for (sparse::Index r = be.row0; r < row_end; ++r) {
+      y[static_cast<std::size_t>(r)] +=
+          y_seg_[static_cast<std::size_t>(r - be.row0)];
+    }
+  }
+}
+
+}  // namespace refloat::hw

@@ -1,0 +1,41 @@
+// Whole-matrix SpMV over the bit-true datapath: one ProcessingEngine per
+// nonzero ReFloat block, partial outputs accumulated digitally — the
+// hardware-exact counterpart of RefloatMatrix::spmv_refloat.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/core/refloat_matrix.h"
+#include "src/hw/engine.h"
+
+namespace refloat::hw {
+
+class HwSpmv {
+ public:
+  HwSpmv(const core::RefloatMatrix& rf, ClusterConfig config);
+
+  // y = A x through the crossbar engines.
+  void apply(std::span<const double> x, std::span<double> y,
+             util::Rng& rng);
+
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t engines() const { return engines_.size(); }
+
+ private:
+  struct BlockEngine {
+    sparse::Index row0 = 0;
+    sparse::Index col0 = 0;
+    ProcessingEngine engine;
+  };
+
+  sparse::Index rows_ = 0;
+  sparse::Index cols_ = 0;
+  int side_ = 0;
+  std::vector<BlockEngine> engines_;
+  std::vector<double> x_seg_;
+  std::vector<double> y_seg_;
+  EngineStats stats_;
+};
+
+}  // namespace refloat::hw

@@ -1,0 +1,15 @@
+// BiCGSTAB (van der Vorst) — the paper's second evaluated solver. One
+// iteration = two operator applications; iteration counts match Table VI's
+// convention.
+#pragma once
+
+#include <span>
+
+#include "src/solvers/solver.h"
+
+namespace refloat::solve {
+
+SolveResult bicgstab(LinearOperator& op, std::span<const double> b,
+                     const SolveOptions& options);
+
+}  // namespace refloat::solve

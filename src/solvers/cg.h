@@ -1,0 +1,14 @@
+// Conjugate gradients for SPD operators (Algorithm 1 of the paper's
+// evaluation setup): x0 = 0, absolute residual tolerance.
+#pragma once
+
+#include <span>
+
+#include "src/solvers/solver.h"
+
+namespace refloat::solve {
+
+SolveResult cg(LinearOperator& op, std::span<const double> b,
+               const SolveOptions& options);
+
+}  // namespace refloat::solve

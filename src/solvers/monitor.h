@@ -1,0 +1,49 @@
+// Internal: shared convergence/divergence/stall bookkeeping for the
+// iterative methods. Not part of the public solver API.
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "src/solvers/solver.h"
+
+namespace refloat::solve::detail {
+
+class Monitor {
+ public:
+  explicit Monitor(const SolveOptions& opts) : opts_(opts) {}
+
+  // Checks the residual *before* iteration k+1 runs. Returns a terminal
+  // status, or nullopt to continue. k == 0 is the initial residual; a
+  // converged k == 0 reports as 1 iteration (the first residual check).
+  std::optional<SolveStatus> check(long k, double rnorm) {
+    if (!std::isfinite(rnorm)) return SolveStatus::kDiverged;
+    if (rnorm <= opts_.tolerance) return SolveStatus::kConverged;
+    if (rnorm > opts_.divergence_factor) return SolveStatus::kDiverged;
+    if (opts_.stall_window > 0) {
+      if (rnorm < best_ * (1.0 - 1e-3)) {
+        best_ = rnorm;
+        best_iter_ = k;
+      } else if (k - best_iter_ >= opts_.stall_window) {
+        return SolveStatus::kStalled;
+      }
+    }
+    if (k >= opts_.max_iterations) return SolveStatus::kMaxIterations;
+    return std::nullopt;
+  }
+
+ private:
+  const SolveOptions& opts_;
+  double best_ = std::numeric_limits<double>::infinity();
+  long best_iter_ = 0;
+};
+
+inline long reported_iterations(SolveStatus status, long k) {
+  // A solve that passes the very first residual check still "ran" one
+  // check — Table VI's gridgena rows report 1, not 0.
+  if (status == SolveStatus::kConverged && k == 0) return 1;
+  return k;
+}
+
+}  // namespace refloat::solve::detail

@@ -1,0 +1,117 @@
+// The platform operators of the evaluation: exact double, ReFloat, the
+// Feinberg [32] fixed-point baseline, global FP truncation (Table I), and
+// the RTN-noise ReFloat variant (Fig. 10).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/core/refloat_matrix.h"
+#include "src/solvers/solver.h"
+#include "src/sparse/csr.h"
+#include "src/util/random.h"
+
+namespace refloat::solve {
+
+// Exact FP64 SpMV — the GPU/double platform.
+class CsrOperator final : public LinearOperator {
+ public:
+  explicit CsrOperator(const sparse::Csr& a) : a_(a) {}
+  void apply(std::span<const double> x, std::span<double> y) override {
+    a_.spmv(x, y);
+  }
+  [[nodiscard]] sparse::Index dim() const override { return a_.rows(); }
+  [[nodiscard]] std::string label() const override { return "double"; }
+
+ private:
+  const sparse::Csr& a_;
+};
+
+// ReFloat-quantized SpMV (matrix and vector both quantized per block).
+class RefloatOperator final : public LinearOperator {
+ public:
+  explicit RefloatOperator(const core::RefloatMatrix& rf) : rf_(rf) {}
+  void apply(std::span<const double> x, std::span<double> y) override {
+    rf_.spmv_refloat(x, y, scratch_);
+  }
+  [[nodiscard]] sparse::Index dim() const override {
+    return rf_.quantized().rows();
+  }
+  [[nodiscard]] std::string label() const override { return "refloat"; }
+
+ private:
+  const core::RefloatMatrix& rf_;
+  std::vector<double> scratch_;
+};
+
+// Feinberg et al. [32]: matrix-global shared exponent, 52-bit fixed-point
+// fractions, a 2^6-position exponent window below the global maximum.
+// Entries whose exponent falls out of the window flush to zero — the
+// mechanism behind the paper's Feinberg non-convergence cases (per-block
+// bases are exactly what ReFloat adds).
+class FeinbergOperator final : public LinearOperator {
+ public:
+  explicit FeinbergOperator(const sparse::Csr& a);
+  void apply(std::span<const double> x, std::span<double> y) override {
+    quantized_.spmv(x, y);
+  }
+  [[nodiscard]] sparse::Index dim() const override {
+    return quantized_.rows();
+  }
+  [[nodiscard]] std::string label() const override { return "feinberg"; }
+  [[nodiscard]] std::size_t flushed() const { return flushed_; }
+
+  static constexpr int kExponentBits = 6;
+  static constexpr int kFractionBits = 52;
+
+ private:
+  sparse::Csr quantized_;
+  std::size_t flushed_ = 0;
+};
+
+// Global IEEE-style truncation (Table I): the matrix is truncated once to
+// exp_bits/frac_bits; every operator application also truncates its input,
+// as a solver holding all state in the narrow format would.
+struct TruncateSpec {
+  int exp_bits = 11;
+  int frac_bits = 52;
+};
+
+class TruncatedOperator final : public LinearOperator {
+ public:
+  TruncatedOperator(const sparse::Csr& a, TruncateSpec spec);
+  void apply(std::span<const double> x, std::span<double> y) override;
+  [[nodiscard]] sparse::Index dim() const override {
+    return quantized_.rows();
+  }
+  [[nodiscard]] std::string label() const override { return "truncated"; }
+
+ private:
+  TruncateSpec spec_;
+  sparse::Csr quantized_;
+  std::vector<double> scratch_;
+};
+
+// ReFloat SpMV with multiplicative Gaussian RTN noise of deviation sigma on
+// every per-block row partial (Fig. 10's conductance-noise model).
+class NoisyRefloatOperator final : public LinearOperator {
+ public:
+  NoisyRefloatOperator(const core::RefloatMatrix& rf, double sigma,
+                       std::uint64_t seed)
+      : rf_(rf), sigma_(sigma), rng_(seed) {}
+  void apply(std::span<const double> x, std::span<double> y) override {
+    rf_.spmv_refloat_noisy(x, y, scratch_, sigma_, rng_);
+  }
+  [[nodiscard]] sparse::Index dim() const override {
+    return rf_.quantized().rows();
+  }
+  [[nodiscard]] std::string label() const override { return "refloat+rtn"; }
+
+ private:
+  const core::RefloatMatrix& rf_;
+  double sigma_;
+  util::Rng rng_;
+  std::vector<double> scratch_;
+};
+
+}  // namespace refloat::solve

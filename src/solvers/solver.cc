@@ -1,0 +1,44 @@
+#include "src/solvers/solver.h"
+
+#include "src/sparse/vector_ops.h"
+#include "src/util/random.h"
+
+namespace refloat::solve {
+
+const char* status_name(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kConverged: return "converged";
+    case SolveStatus::kMaxIterations: return "max-iterations";
+    case SolveStatus::kStalled: return "stalled";
+    case SolveStatus::kDiverged: return "diverged";
+    case SolveStatus::kBreakdown: return "breakdown";
+  }
+  return "?";
+}
+
+std::vector<double> make_rhs(const sparse::Csr& a, double norm) {
+  util::Rng rng(0x9e3779b9ull ^ (static_cast<std::uint64_t>(a.rows()) << 20) ^
+                static_cast<std::uint64_t>(a.nnz()));
+  std::vector<double> b(static_cast<std::size_t>(a.rows()));
+  for (double& v : b) v = rng.gaussian();
+  const double n2 = sparse::norm2(b);
+  if (n2 > 0.0) {
+    for (double& v : b) v *= norm / n2;
+  }
+  return b;
+}
+
+void attach_true_residual(const sparse::Csr& a, std::span<const double> b,
+                          SolveResult& result) {
+  if (result.solution.empty()) {
+    result.true_residual = sparse::norm2(b);
+    return;
+  }
+  std::vector<double> ax(static_cast<std::size_t>(a.rows()));
+  a.spmv(result.solution, ax);
+  std::vector<double> r(ax.size());
+  sparse::sub(b, ax, r);
+  result.true_residual = sparse::norm2(r);
+}
+
+}  // namespace refloat::solve

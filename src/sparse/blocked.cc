@@ -1,0 +1,39 @@
+#include "src/sparse/blocked.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace refloat::sparse {
+
+BlockedMatrix::BlockedMatrix(const Csr& a, int b) : b_(b), nnz_(a.nnz()) {
+  const Index side = block_side();
+  block_rows_ = (a.rows() + side - 1) / side;
+  block_cols_ = (a.cols() + side - 1) / side;
+
+  // Key fits comfortably: block grids stay far below 2^32 per side.
+  std::unordered_map<std::uint64_t, Index> counts;
+  counts.reserve(static_cast<std::size_t>(a.rows()));
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  for (Index r = 0; r < a.rows(); ++r) {
+    const Index brow = r >> b_;
+    for (Index k = row_ptr[static_cast<std::size_t>(r)];
+         k < row_ptr[static_cast<std::size_t>(r) + 1]; ++k) {
+      const Index bcol = col_idx[static_cast<std::size_t>(k)] >> b_;
+      const std::uint64_t key = (static_cast<std::uint64_t>(brow) << 32) |
+                                static_cast<std::uint64_t>(bcol);
+      ++counts[key];
+    }
+  }
+  blocks_.reserve(counts.size());
+  for (const auto& [key, count] : counts) {
+    blocks_.push_back({static_cast<Index>(key >> 32),
+                       static_cast<Index>(key & 0xffffffffull), count});
+  }
+  std::sort(blocks_.begin(), blocks_.end(),
+            [](const BlockInfo& x, const BlockInfo& y) {
+              return x.brow != y.brow ? x.brow < y.brow : x.bcol < y.bcol;
+            });
+}
+
+}  // namespace refloat::sparse

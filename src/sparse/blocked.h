@@ -1,0 +1,48 @@
+// Block decomposition of a CSR matrix at 2^b x 2^b granularity — the unit the
+// accelerator maps onto crossbar clusters. Only the *occupancy* lives here
+// (which blocks exist, with how many nonzeros); the quantized per-block
+// payload is core::RefloatMatrix's job.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/sparse/csr.h"
+
+namespace refloat::sparse {
+
+struct BlockInfo {
+  Index brow = 0;  // block-row index
+  Index bcol = 0;  // block-col index
+  Index nnz = 0;   // nonzeros inside the block
+};
+
+class BlockedMatrix {
+ public:
+  // b is the log2 of the block side (b = 7 -> 128x128 blocks).
+  BlockedMatrix(const Csr& a, int b);
+
+  [[nodiscard]] std::size_t nonzero_blocks() const { return blocks_.size(); }
+  [[nodiscard]] const std::vector<BlockInfo>& blocks() const {
+    return blocks_;
+  }
+  [[nodiscard]] int block_bits() const { return b_; }
+  [[nodiscard]] Index block_side() const { return Index{1} << b_; }
+  [[nodiscard]] Index block_rows() const { return block_rows_; }
+  [[nodiscard]] Index block_cols() const { return block_cols_; }
+  [[nodiscard]] Index nnz() const { return nnz_; }
+  [[nodiscard]] double avg_nnz_per_block() const {
+    return blocks_.empty() ? 0.0
+                           : static_cast<double>(nnz_) /
+                                 static_cast<double>(blocks_.size());
+  }
+
+ private:
+  int b_ = 7;
+  Index block_rows_ = 0;
+  Index block_cols_ = 0;
+  Index nnz_ = 0;
+  std::vector<BlockInfo> blocks_;  // sorted by (brow, bcol)
+};
+
+}  // namespace refloat::sparse

@@ -1,0 +1,71 @@
+// Compressed-sparse-row matrix — the exact-value (FP64) representation every
+// other layer starts from.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace refloat::sparse {
+
+using Index = std::int64_t;
+
+struct Triplet {
+  Index r = 0;
+  Index c = 0;
+  double v = 0.0;
+};
+
+class Csr {
+ public:
+  Csr() = default;
+  Csr(Index rows, Index cols, std::vector<Index> row_ptr,
+      std::vector<Index> col_idx, std::vector<double> values);
+
+  // Builds from (row, col, value) triplets; duplicate coordinates are summed,
+  // explicit zeros are dropped.
+  static Csr from_triplets(Index rows, Index cols,
+                           std::vector<Triplet> triplets);
+
+  [[nodiscard]] Index rows() const { return rows_; }
+  [[nodiscard]] Index cols() const { return cols_; }
+  [[nodiscard]] Index nnz() const {
+    return static_cast<Index>(values_.size());
+  }
+  [[nodiscard]] double nnz_per_row() const {
+    return rows_ == 0 ? 0.0
+                      : static_cast<double>(nnz()) / static_cast<double>(rows_);
+  }
+
+  [[nodiscard]] std::span<const Index> row_ptr() const { return row_ptr_; }
+  [[nodiscard]] std::span<const Index> col_idx() const { return col_idx_; }
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+  [[nodiscard]] std::span<double> mutable_values() { return values_; }
+
+  // y = A x. x must have cols() entries, y rows() entries.
+  void spmv(std::span<const double> x, std::span<double> y) const;
+
+  // A + s * I (square matrices only; missing diagonal entries are created).
+  [[nodiscard]] Csr shifted(double s) const;
+
+  // P A P^T for the permutation perm, where perm[new_index] = old_index.
+  [[nodiscard]] Csr permuted_symmetric(std::span<const Index> perm) const;
+
+  // Same sparsity, values transformed to d[i] * a_ij * d[j] (diagonal
+  // similarity scaling; keeps symmetry and definiteness).
+  [[nodiscard]] Csr scaled_symmetric(std::span<const double> d) const;
+
+  [[nodiscard]] double frobenius_norm() const;
+
+  // Largest |i - j| over stored entries.
+  [[nodiscard]] Index bandwidth() const;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Index> row_ptr_;  // size rows_ + 1
+  std::vector<Index> col_idx_;  // size nnz
+  std::vector<double> values_;  // size nnz
+};
+
+}  // namespace refloat::sparse

@@ -1,0 +1,50 @@
+#include "src/util/log.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace refloat::util {
+
+namespace {
+
+LogLevel threshold() {
+  static const LogLevel level = [] {
+    const char* env = std::getenv("REFLOAT_LOG");
+    if (env == nullptr) return LogLevel::kInfo;
+    if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+    if (std::strcmp(env, "quiet") == 0) return LogLevel::kWarn;
+    if (std::strcmp(env, "silent") == 0) return LogLevel::kError;
+    return LogLevel::kInfo;
+  }();
+  return level;
+}
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(threshold());
+}
+
+void log_line(LogLevel level, const char* fmt, ...) {
+  if (!log_enabled(level)) return;
+  std::fprintf(stderr, "[refloat %s] ", tag(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace refloat::util

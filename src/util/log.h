@@ -1,0 +1,27 @@
+// Minimal printf-style logging. Levels are filtered by the REFLOAT_LOG
+// environment variable ("quiet" silences info, "debug" enables debug).
+#pragma once
+
+namespace refloat::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// True when `level` passes the current filter.
+bool log_enabled(LogLevel level);
+
+// printf-style line, prefixed with the level tag, to stderr.
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void log_line(LogLevel level, const char* fmt, ...);
+
+}  // namespace refloat::util
+
+#define RF_LOG_DEBUG(...) \
+  ::refloat::util::log_line(::refloat::util::LogLevel::kDebug, __VA_ARGS__)
+#define RF_LOG_INFO(...) \
+  ::refloat::util::log_line(::refloat::util::LogLevel::kInfo, __VA_ARGS__)
+#define RF_LOG_WARN(...) \
+  ::refloat::util::log_line(::refloat::util::LogLevel::kWarn, __VA_ARGS__)
+#define RF_LOG_ERROR(...) \
+  ::refloat::util::log_line(::refloat::util::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,43 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace refloat::util {
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double geomean(const std::vector<double>& v) {
+  double log_sum = 0.0;
+  std::size_t count = 0;
+  for (const double x : v) {
+    if (x <= 0.0) continue;
+    log_sum += std::log(x);
+    ++count;
+  }
+  if (count == 0) return 0.0;
+  return std::exp(log_sum / static_cast<double>(count));
+}
+
+double stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (const double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  if (v.size() % 2 == 1) return v[mid];
+  return 0.5 * (v[mid - 1] + v[mid]);
+}
+
+}  // namespace refloat::util

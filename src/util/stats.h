@@ -1,0 +1,13 @@
+// Small statistics helpers for the bench reports.
+#pragma once
+
+#include <vector>
+
+namespace refloat::util {
+
+double mean(const std::vector<double>& v);
+double geomean(const std::vector<double>& v);  // ignores non-positive entries
+double stddev(const std::vector<double>& v);
+double median(std::vector<double> v);
+
+}  // namespace refloat::util

@@ -1,0 +1,106 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+namespace refloat::util {
+
+std::string fmt_i(long long v) {
+  const bool negative = v < 0;
+  std::string digits = std::to_string(negative ? -v : v);
+  std::string out;
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return negative ? "-" + out : out;
+}
+
+std::string fmt_f(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string fmt_g(double v, int sig) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", sig, v);
+  return buf;
+}
+
+std::string fmt_x(double v, int prec) { return fmt_f(v, prec) + "x"; }
+
+std::string fmt_duration(double seconds) {
+  const double abs = seconds < 0 ? -seconds : seconds;
+  char buf[64];
+  if (abs == 0.0) {
+    return "0 s";
+  } else if (abs < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", seconds * 1e9);
+  } else if (abs < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+  } else if (abs < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  }
+  return buf;
+}
+
+Table::Table(std::vector<std::string> headers) {
+  rows_.push_back(std::move(headers));
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    std::string line = "  ";
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      std::string cell = rows_[r][c];
+      cell.resize(widths[c], ' ');
+      line += cell;
+      if (c + 1 < rows_[r].size()) line += "  ";
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    std::printf("%s\n", line.c_str());
+    if (r == 0) {
+      std::size_t total = 2;
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+      }
+      std::printf("  %s\n", std::string(total - 2, '-').c_str());
+    }
+  }
+}
+
+CsvWriter::CsvWriter(const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  out_.open(path, std::ios::trunc);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+}  // namespace refloat::util

@@ -1,0 +1,45 @@
+// Aligned text tables and CSV emission for the bench binaries, plus the
+// shared number-formatting helpers.
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace refloat::util {
+
+// Integer with thousands separators ("1,048,576"). Table display only —
+// never feed this into a CSV cell.
+std::string fmt_i(long long v);
+// Fixed-point with `prec` decimals.
+std::string fmt_f(double v, int prec);
+// %g with `sig` significant digits.
+std::string fmt_g(double v, int sig);
+// Speedup: "12.59x".
+std::string fmt_x(double v, int prec);
+// Human-readable duration from seconds: "107 ns", "3.2 us", "1.4 ms", ...
+std::string fmt_duration(double seconds);
+
+// Column-aligned table printed to stdout.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;  // rows_[0] = headers
+};
+
+// CSV file writer; creates parent directories on demand.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace refloat::util

@@ -1,0 +1,43 @@
+#include "src/sparse/blocked.h"
+
+#include <gtest/gtest.h>
+
+#include "src/gen/grid.h"
+
+namespace refloat::sparse {
+namespace {
+
+TEST(BlockedMatrix, CountsDiagonalBlocks) {
+  // 8x8 identity at b=2 (4x4 blocks): exactly the two diagonal blocks.
+  std::vector<Triplet> triplets;
+  for (Index i = 0; i < 8; ++i) triplets.push_back({i, i, 1.0});
+  const Csr a = Csr::from_triplets(8, 8, triplets);
+  const BlockedMatrix blocked(a, 2);
+  EXPECT_EQ(blocked.nonzero_blocks(), 2u);
+  EXPECT_EQ(blocked.block_rows(), 2);
+  EXPECT_EQ(blocked.block_side(), 4);
+  EXPECT_EQ(blocked.blocks()[0].nnz, 4);
+  EXPECT_EQ(blocked.blocks()[1].brow, 1);
+  EXPECT_EQ(blocked.blocks()[1].bcol, 1);
+}
+
+TEST(BlockedMatrix, NnzConserved) {
+  const Csr a = gen::build_stencil(gen::laplace2d_5pt(20, 20));
+  const BlockedMatrix blocked(a, 4);
+  Index total = 0;
+  for (const BlockInfo& block : blocked.blocks()) total += block.nnz;
+  EXPECT_EQ(total, a.nnz());
+  EXPECT_EQ(blocked.nnz(), a.nnz());
+}
+
+TEST(BlockedMatrix, BandedMatrixStaysNearDiagonal) {
+  const Csr a = gen::build_stencil(gen::laplace2d_5pt(32, 32));
+  const BlockedMatrix blocked(a, 5);
+  for (const BlockInfo& block : blocked.blocks()) {
+    // 5-point Laplacian bandwidth is 32 = one block side.
+    EXPECT_LE(std::abs(block.brow - block.bcol), 1);
+  }
+}
+
+}  // namespace
+}  // namespace refloat::sparse

@@ -1,0 +1,111 @@
+#include "src/sparse/csr.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace refloat::sparse {
+namespace {
+
+Csr small_matrix() {
+  // [ 2 -1  0 ]
+  // [-1  2 -1 ]
+  // [ 0 -1  2 ]
+  return Csr::from_triplets(3, 3,
+                            {{0, 0, 2.0},
+                             {0, 1, -1.0},
+                             {1, 0, -1.0},
+                             {1, 1, 2.0},
+                             {1, 2, -1.0},
+                             {2, 1, -1.0},
+                             {2, 2, 2.0}});
+}
+
+TEST(Csr, FromTripletsSumsDuplicatesAndDropsZeros) {
+  const Csr a = Csr::from_triplets(
+      2, 2, {{0, 0, 1.0}, {0, 0, 2.0}, {1, 1, 5.0}, {1, 0, 0.0}});
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.values()[0], 3.0);
+  EXPECT_DOUBLE_EQ(a.values()[1], 5.0);
+}
+
+TEST(Csr, SpmvMatchesDenseReference) {
+  const Csr a = small_matrix();
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y(3);
+  a.spmv(x, y);
+  // Dense reference: [2-2, -1+4-3, -2+6] = [0, 0, 4].
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], 4.0);
+}
+
+TEST(Csr, SpmvRandomMatchesDense) {
+  // Pseudo-random 16x16 with a dense mirror.
+  const Index n = 16;
+  std::vector<Triplet> triplets;
+  double dense[16][16] = {};
+  unsigned state = 12345;
+  auto next = [&state] {
+    state = state * 1664525u + 1013904223u;
+    return static_cast<double>(state >> 16) / 65536.0 - 0.5;
+  };
+  for (Index r = 0; r < n; ++r) {
+    for (Index c = 0; c < n; ++c) {
+      const double u = next();
+      if (u > 0.2) continue;
+      dense[r][c] = u;
+      triplets.push_back({r, c, u});
+    }
+  }
+  const Csr a = Csr::from_triplets(n, n, triplets);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] = next();
+  }
+  std::vector<double> y(static_cast<std::size_t>(n));
+  a.spmv(x, y);
+  for (Index r = 0; r < n; ++r) {
+    double ref = 0.0;
+    for (Index c = 0; c < n; ++c) {
+      ref += dense[r][c] * x[static_cast<std::size_t>(c)];
+    }
+    EXPECT_NEAR(y[static_cast<std::size_t>(r)], ref, 1e-12);
+  }
+}
+
+TEST(Csr, ShiftedAddsDiagonal) {
+  const Csr a = small_matrix().shifted(0.5);
+  const std::vector<double> x = {1.0, 0.0, 0.0};
+  std::vector<double> y(3);
+  a.spmv(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.5);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(Csr, PermutedSymmetricPreservesSpectrumAction) {
+  const Csr a = small_matrix();
+  const std::vector<Index> perm = {2, 0, 1};  // perm[new] = old
+  const Csr p = a.permuted_symmetric(perm);
+  EXPECT_EQ(p.nnz(), a.nnz());
+  // (PAP^T) (Px) = P (Ax): check via x = e_old0.
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> ax(3);
+  a.spmv(x, ax);
+  // Px: new index i holds old perm[i].
+  std::vector<double> px = {x[2], x[0], x[1]};
+  std::vector<double> pax(3);
+  p.spmv(px, pax);
+  EXPECT_DOUBLE_EQ(pax[0], ax[2]);
+  EXPECT_DOUBLE_EQ(pax[1], ax[0]);
+  EXPECT_DOUBLE_EQ(pax[2], ax[1]);
+}
+
+TEST(Csr, BandwidthAndNnzPerRow) {
+  const Csr a = small_matrix();
+  EXPECT_EQ(a.bandwidth(), 1);
+  EXPECT_NEAR(a.nnz_per_row(), 7.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace refloat::sparse

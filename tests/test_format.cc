@@ -1,0 +1,97 @@
+#include "src/core/format.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace refloat::core {
+namespace {
+
+TEST(Format, ModelBitsAnchors) {
+  // Eq. 2/3 anchors from the paper: FP64-in-ReRAM needs 4*2101 = 8404
+  // crossbars and 2101+2101-1 = 4201 cycles; default ReFloat needs 48 / 28.
+  EXPECT_EQ(model_bits(11, 52), 2101);
+  EXPECT_EQ(4 * model_bits(11, 52), 8404);
+  EXPECT_EQ(model_bits(11, 52) + model_bits(11, 52) - 1, 4201);
+
+  const Format fmt = default_format();
+  EXPECT_EQ(4 * model_bits(fmt.e, fmt.f), 48);
+  EXPECT_EQ(model_bits(fmt.ev, fmt.fv) + model_bits(fmt.e, fmt.f) - 1, 28);
+}
+
+TEST(Format, DefaultsMatchTableVII) {
+  const Format fmt = default_format();
+  EXPECT_EQ(fmt.b, 7);
+  EXPECT_EQ(fmt.e, 3);
+  EXPECT_EQ(fmt.f, 3);
+  EXPECT_EQ(fmt.ev, 3);
+  EXPECT_EQ(fmt.fv, 8);
+  EXPECT_EQ(default_format_fv16().fv, 16);
+}
+
+TEST(Format, ScalarFp64IsExact) {
+  const Format fmt = format_fp64();
+  for (const double v : {1.0, -3.5, 0.123456789, 1e-300, 1e300, 0.0}) {
+    EXPECT_EQ(quantize_scalar(v, fmt.e, fmt.f, nullptr), v);
+  }
+}
+
+TEST(Format, QuantizeValueRoundTripBound) {
+  // Values within the offset window round to f fraction bits: relative
+  // error at most 2^-(f+1).
+  const QuantPolicy policy;
+  for (const int f : {3, 8, 16}) {
+    const double bound = std::ldexp(1.0, -(f + 1));
+    for (const double v :
+         {1.0, 1.9, -1.3, 0.75, 0.51, -0.6, 1.0 / 3.0, 0.9999}) {
+      const double q = quantize_value(v, /*base=*/0, /*e_bits=*/3, f, policy,
+                                      nullptr);
+      EXPECT_LE(std::abs(v - q), bound * std::abs(v) * (1.0 + 1e-12))
+          << "f=" << f << " v=" << v;
+    }
+  }
+}
+
+TEST(Format, UnderflowModesBehave) {
+  QuantPolicy policy;
+  QuantTally tally;
+  // base 0, e=3 -> window [-7, 0]; v = 2^-12 is below it.
+  const double tiny = std::ldexp(1.0, -12);
+  policy.underflow = UnderflowMode::kFlushToZero;
+  EXPECT_EQ(quantize_value(tiny, 0, 3, 3, policy, &tally), 0.0);
+  EXPECT_EQ(tally.flushed_to_zero, 1u);
+
+  policy.underflow = UnderflowMode::kDenormalize;
+  // Window floor 2^-7 with f=3: grid step 2^-10; 2^-12 = 0.25 steps rounds
+  // to 0, while 3 * 2^-12 = 0.75 steps rounds to one step.
+  EXPECT_EQ(quantize_value(tiny, 0, 3, 3, policy, nullptr), 0.0);
+  EXPECT_EQ(quantize_value(3 * tiny, 0, 3, 3, policy, nullptr),
+            std::ldexp(1.0, -10));
+
+  policy.underflow = UnderflowMode::kClampOffsetKeepFraction;
+  // Paper-literal: mantissa kept, offset clamped -> value inflates to the
+  // window floor scale.
+  const double q = quantize_value(tiny, 0, 3, 3, policy, nullptr);
+  EXPECT_DOUBLE_EQ(q, std::ldexp(1.0, -7));
+}
+
+TEST(Format, OverflowSaturatesAboveWindow) {
+  QuantPolicy policy;
+  policy.base = BaseMode::kMeanEq5;  // only mean bases can overflow
+  QuantTally tally;
+  // base 0, window [-7, 0]; v = 8 overflows.
+  const double q = quantize_value(8.0, 0, 3, 3, policy, &tally);
+  EXPECT_EQ(tally.overflowed, 1u);
+  EXPECT_DOUBLE_EQ(q, 2.0 - 0.125);  // largest representable at hi = 0
+}
+
+TEST(Format, SelectBlockBaseModes) {
+  const std::vector<double> values = {1.0, 4.0, 16.0};  // exponents 0, 2, 4
+  QuantPolicy policy;
+  EXPECT_EQ(select_block_base(values, 3, policy), 4);  // max anchor
+  policy.base = BaseMode::kMeanEq5;
+  EXPECT_EQ(select_block_base(values, 3, policy), 2);  // rounded mean
+}
+
+}  // namespace
+}  // namespace refloat::core

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/gen/grid.h"
+#include "src/gen/rcm.h"
+#include "src/gen/spectral.h"
+#include "src/gen/suite.h"
+#include "src/gen/wathen.h"
+#include "src/sparse/vector_ops.h"
+#include "src/util/random.h"
+
+namespace refloat::gen {
+namespace {
+
+TEST(Grid, StencilShapeAndSymmetry) {
+  const sparse::Csr a = build_stencil(laplace2d_5pt(10, 10));
+  EXPECT_EQ(a.rows(), 100);
+  // Interior rows have 5 entries, corners 3.
+  EXPECT_EQ(a.nnz(), 5 * 100 - 4 * 10 /* boundary drops 2*(nx+ny) edges */);
+  // Symmetric: A x . y == x . A y for a probe pair.
+  util::Rng rng(3);
+  std::vector<double> x(100);
+  std::vector<double> y(100);
+  for (double& v : x) v = rng.gaussian();
+  for (double& v : y) v = rng.gaussian();
+  std::vector<double> ax(100);
+  std::vector<double> ay(100);
+  a.spmv(x, ax);
+  a.spmv(y, ay);
+  EXPECT_NEAR(sparse::dot(ax, y), sparse::dot(x, ay), 1e-10);
+}
+
+TEST(Grid, ShiftCalibrationHitsTargetKappa) {
+  const StencilSpec spec = laplace2d_5pt(24, 24);
+  const double kappa = 50.0;
+  const double shift = shift_for_kappa(spec, kappa);
+  double lo = 0.0;
+  double hi = 0.0;
+  stencil_eigen_range(spec, &lo, &hi);
+  EXPECT_NEAR((hi + shift) / (lo + shift), kappa, 1e-6 * kappa);
+  EXPECT_GT(lo + shift, 0.0);  // still SPD
+}
+
+TEST(Wathen, SizeFormulaAndSpd) {
+  const sparse::Csr a = wathen(6, 7, 42);
+  EXPECT_EQ(a.rows(), 3 * 6 * 7 + 2 * 6 + 2 * 7 + 1);
+  // SPD probe: x^T A x > 0 for a few random x.
+  util::Rng rng(5);
+  std::vector<double> x(static_cast<std::size_t>(a.rows()));
+  std::vector<double> ax(x.size());
+  for (int probe = 0; probe < 4; ++probe) {
+    for (double& v : x) v = rng.gaussian();
+    a.spmv(x, ax);
+    EXPECT_GT(sparse::dot(x, ax), 0.0);
+  }
+}
+
+TEST(Rcm, RecoversBandedStructureAfterScatter) {
+  const sparse::Csr banded = build_stencil(laplace2d_5pt(24, 24));
+  // Scatter with a random symmetric permutation.
+  util::Rng rng(9);
+  std::vector<sparse::Index> scatter(static_cast<std::size_t>(banded.rows()));
+  for (std::size_t i = 0; i < scatter.size(); ++i) {
+    scatter[i] = static_cast<sparse::Index>(i);
+  }
+  for (std::size_t i = scatter.size() - 1; i > 0; --i) {
+    std::swap(scatter[i], scatter[rng.below(i + 1)]);
+  }
+  const sparse::Csr scattered = banded.permuted_symmetric(scatter);
+  ASSERT_GT(bandwidth(scattered), 4 * bandwidth(banded));
+
+  const auto perm = rcm_permutation(scattered);
+  const sparse::Csr recovered = scattered.permuted_symmetric(perm);
+  EXPECT_LT(bandwidth(recovered), bandwidth(scattered) / 4);
+  EXPECT_EQ(recovered.nnz(), banded.nnz());
+}
+
+TEST(Spectral, PermutationIsValid) {
+  const sparse::Csr a = build_stencil(laplace2d_5pt(12, 12));
+  const auto perm = spectral_permutation(a);
+  ASSERT_EQ(perm.size(), static_cast<std::size_t>(a.rows()));
+  std::vector<char> seen(perm.size(), 0);
+  for (const sparse::Index p : perm) seen[static_cast<std::size_t>(p)] = 1;
+  for (const char s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(Lanczos, FindsExtremesOfKnownSpectrum) {
+  // Diagonal matrix with known extremes 0.5 and 8.
+  std::vector<sparse::Triplet> triplets;
+  const sparse::Index n = 64;
+  for (sparse::Index i = 0; i < n; ++i) {
+    triplets.push_back(
+        {i, i, 0.5 + 7.5 * static_cast<double>(i) / static_cast<double>(n - 1)});
+  }
+  const sparse::Csr a = sparse::Csr::from_triplets(n, n, triplets);
+  const SpectrumEstimate est = lanczos_extremes(
+      [&a](std::span<const double> x, std::span<double> y) { a.spmv(x, y); },
+      static_cast<std::size_t>(n), 64, 17);
+  EXPECT_NEAR(est.lambda_max, 8.0, 1e-6);
+  EXPECT_NEAR(est.lambda_min, 0.5, 1e-6);
+  EXPECT_NEAR(est.kappa(), 16.0, 1e-4);
+}
+
+TEST(Suite, SpecsAreComplete) {
+  ASSERT_EQ(suite().size(), 12u);
+  EXPECT_STREQ(find_spec(355)->name, "crystm03");
+  EXPECT_STREQ(find_spec(1311)->name, "gridgena");
+  EXPECT_EQ(find_spec(999999), nullptr);
+  // Table VII: exactly wathen100 and Dubcova2 carry the fv=16 override.
+  int overrides = 0;
+  for (const SuiteSpec& spec : suite()) {
+    if (spec.fv_override != 0) ++overrides;
+  }
+  EXPECT_EQ(overrides, 2);
+  // gridgena's rhs is below tau by construction.
+  EXPECT_LT(find_spec(1311)->b_norm, 1e-8);
+}
+
+TEST(Suite, CsrCacheRoundTrips) {
+  const sparse::Csr a = build_stencil(laplace2d_5pt(9, 11)).shifted(0.25);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "refloat_test_cache")
+          .string();
+  const std::string path = dir + "/roundtrip.csr";
+  std::filesystem::remove_all(dir);
+  save_csr(path, a);
+  sparse::Csr loaded;
+  ASSERT_TRUE(load_csr(path, &loaded));
+  EXPECT_EQ(loaded.rows(), a.rows());
+  EXPECT_EQ(loaded.nnz(), a.nnz());
+  for (std::size_t i = 0; i < a.values().size(); ++i) {
+    EXPECT_EQ(loaded.values()[i], a.values()[i]);
+  }
+  EXPECT_FALSE(load_csr(dir + "/missing.csr", &loaded));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace refloat::gen

@@ -1,0 +1,42 @@
+#include "src/sparse/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+namespace refloat::sparse {
+namespace {
+
+TEST(VectorOps, DotAndNorm) {
+  const std::vector<double> a = {1.0, 2.0, 2.0};
+  const std::vector<double> b = {3.0, 0.0, -1.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 3.0);
+}
+
+TEST(VectorOps, AxpyXpbySub) {
+  std::vector<double> y = {1.0, 1.0};
+  axpy(2.0, std::vector<double>{1.0, -1.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+
+  xpby(std::vector<double>{1.0, 1.0}, 0.5, y);  // y = x + 0.5 y
+  EXPECT_DOUBLE_EQ(y[0], 2.5);
+  EXPECT_DOUBLE_EQ(y[1], 0.5);
+
+  std::vector<double> out(2);
+  sub(std::vector<double>{5.0, 5.0}, y, out);
+  EXPECT_DOUBLE_EQ(out[0], 2.5);
+  EXPECT_DOUBLE_EQ(out[1], 4.5);
+}
+
+TEST(VectorOps, ScaleFillMaxAbs) {
+  std::vector<double> x = {1.0, -4.0, 2.0};
+  EXPECT_DOUBLE_EQ(max_abs(x), 4.0);
+  scale(0.5, x);
+  EXPECT_DOUBLE_EQ(x[1], -2.0);
+  fill(x, 7.0);
+  EXPECT_DOUBLE_EQ(x[0], 7.0);
+  EXPECT_DOUBLE_EQ(x[2], 7.0);
+}
+
+}  // namespace
+}  // namespace refloat::sparse
