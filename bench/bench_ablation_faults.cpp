@@ -14,6 +14,8 @@
 #include "src/solvers/cg.h"
 #include "src/solvers/solver.h"
 #include "src/util/table.h"
+#include "src/util/thread_pool.h"
+#include "src/util/timer.h"
 
 namespace refloat::bench {
 namespace {
@@ -41,7 +43,11 @@ int main() {
   using namespace refloat::bench;
   using namespace refloat;
   std::printf("=== Ablation: stuck-at cell faults (24x24 Poisson, CG on the "
-              "bit-true path) ===\n\n");
+              "bit-true path) ===\n");
+  std::printf("(HwSpmv block-rows sharded over %d threads; REFLOAT_THREADS "
+              "overrides)\n\n",
+              util::ThreadPool::global().size());
+  util::Timer sweep_timer;
 
   const sparse::Csr a =
       gen::build_stencil(gen::laplace2d_5pt(24, 24)).shifted(0.2);
@@ -84,7 +90,10 @@ int main() {
              std::to_string(res.iterations),
              util::fmt_g(res.final_residual, 3)});
   }
+  const double sweep_seconds = sweep_timer.seconds();
   table.print();
+  std::printf("\nSweep wall-clock: %.2fs on %d threads.\n", sweep_seconds,
+              util::ThreadPool::global().size());
   std::printf(
       "\nTwo observations. (1) Tolerance cliff: ~0.1%% faulty cells are "
       "absorbed by the solver; ~1%% breaks it —\nthe regime where the "

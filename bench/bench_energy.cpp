@@ -18,7 +18,7 @@ int main() {
   std::printf("=== Extension: modeled CG solve energy (Feinberg-fc vs "
               "ReFloat) ===\n\n");
 
-  ResultCache cache("data/results/solves.csv");
+  ResultCache cache(solves_cache_dir());
   const arch::EnergyModel energy;
   util::CsvWriter csv(results_dir() + "/energy.csv");
   csv.row({"matrix", "feinberg_mJ", "refloat_mJ", "ratio",

@@ -24,7 +24,7 @@ int main() {
   const core::RefloatMatrix rf(bundle.a, bundle.format);
 
   // GPU reference time from the double run.
-  ResultCache cache("data/results/solves.csv");
+  ResultCache cache(solves_cache_dir());
   const SolveRecord rec_double =
       run_solve(bundle, SolverKind::kCg, Platform::kDouble, cache);
   const arch::GpuModel gpu;

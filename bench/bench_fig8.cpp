@@ -80,7 +80,7 @@ int main() {
   std::printf("Formats: Feinberg e=6,f=52; ReFloat(7,3,3)(3,8) "
               "(fv=16 for wathen100/Dubcova2)\n\n");
 
-  ResultCache cache("data/results/solves.csv");
+  ResultCache cache(solves_cache_dir());
   refloat::util::CsvWriter csv(results_dir() + "/fig8.csv");
   csv.row({"solver", "matrix", "blocks", "gpu_seconds", "feinberg",
            "feinberg_fc", "refloat"});

@@ -73,7 +73,7 @@ int main() {
               "spikes and converges on all 12 matrices;\nFeinberg diverges / "
               "stalls on the out-of-window matrices.\n\n");
   std::filesystem::create_directories(results_dir() + "/traces");
-  ResultCache cache("data/results/solves.csv");
+  ResultCache cache(solves_cache_dir());
   run_solver(SolverKind::kCg, cache);
   run_solver(SolverKind::kBicgstab, cache);
   return 0;

@@ -54,7 +54,7 @@ int main() {
   std::printf("  matrices 1288 (wathen100) and 1848 (Dubcova2): fv=16\n\n");
 
   std::printf("=== Table VI: absolute iterations to convergence ===\n");
-  ResultCache cache("data/results/solves.csv");
+  ResultCache cache(solves_cache_dir());
   refloat::util::CsvWriter csv(results_dir() + "/table6.csv");
   csv.row({"id", "matrix", "solver", "double_iters", "refloat_iters",
            "paper_double", "paper_refloat"});

@@ -4,7 +4,7 @@
 // (§VI). The expensive inputs — generated suite matrices and solver runs —
 // are cached under the data directory ($REFLOAT_DATA_DIR or ./data):
 //   data/<matrix>.csr                  generated matrix
-//   data/results/solves.csv            one row per (matrix, solver, platform)
+//   data/results/<matrix>.csv          one row per (matrix, solver, platform)
 //   results/<bench>.csv                the emitted series for re-plotting
 // so the full bench sweep is idempotent: the first run computes, repeats
 // reload. The on-disk formats are specified in docs/DATA_FORMATS.md.
@@ -54,11 +54,17 @@ struct SolveRecord {
   [[nodiscard]] bool converged() const { return status == "converged"; }
 };
 
-// CSV-backed cache of solve records keyed by matrix/solver/platform.
+// CSV-backed cache of solve records keyed by matrix/solver/platform,
+// sharded one file per matrix (`<dir>/<matrix>.csv`). put() appends the row
+// to the shard immediately under an exclusive flock — never a whole-file
+// rewrite — so any number of concurrent bench binaries can share the cache
+// without losing or interleaving rows. Readers take a shared flock and
+// resolve duplicate keys last-row-wins. A legacy single-file
+// `<dir>/solves.csv` (the pre-sharding layout) is imported read-only.
 class ResultCache {
  public:
-  explicit ResultCache(const std::string& path);
-  ~ResultCache();
+  // `dir` is the shard directory, conventionally solves_cache_dir().
+  explicit ResultCache(const std::string& dir);
 
   std::optional<SolveRecord> get(const std::string& matrix,
                                  const std::string& solver,
@@ -66,11 +72,12 @@ class ResultCache {
   void put(const SolveRecord& record);
 
  private:
-  void save() const;
-  std::string path_;
+  std::string dir_;
   std::map<std::string, SolveRecord> records_;
-  bool dirty_ = false;
 };
+
+// "data/results" — the ResultCache shard directory (created on demand).
+std::string solves_cache_dir();
 
 // Default solver options for the evaluation (tau = 1e-8, stall detection
 // for the Feinberg stagnation cases).

@@ -5,7 +5,9 @@
 #include <map>
 #include <utility>
 
+#include "src/sparse/lanczos.h"
 #include "src/sparse/vector_ops.h"
+#include "src/util/thread_pool.h"
 
 namespace refloat::core {
 
@@ -117,6 +119,12 @@ RefloatMatrix::RefloatMatrix(const sparse::Csr& a, const Format& format,
     }
   }
 
+  block_row_begin_.push_back(0);
+  for (std::size_t i = 1; i < blocks_.size(); ++i) {
+    if (blocks_[i].row0 != blocks_[i - 1].row0) block_row_begin_.push_back(i);
+  }
+  block_row_begin_.push_back(blocks_.size());
+
   stats_.values = tally.values;
   stats_.overflowed = tally.overflowed;
   stats_.underflowed = tally.underflowed;
@@ -185,42 +193,78 @@ void RefloatMatrix::spmv_refloat(std::span<const double> x,
     quantized_.spmv(scratch, y);
     return;
   }
-  for (const BlockData& block : blocks_) {
-    for (const Entry& entry : block.entries) {
-      y[static_cast<std::size_t>(block.row0 + entry.r)] +=
-          entry.value *
-          scratch[static_cast<std::size_t>(block.col0 + entry.c)];
-    }
-  }
+  // Block-rows write disjoint y ranges and keep the serial (brow, bcol)
+  // accumulation order within each range — bit-identical at any thread
+  // count.
+  util::ThreadPool::global().parallel_for(
+      block_row_begin_.size() - 1, [&](std::size_t br) {
+        for (std::size_t i = block_row_begin_[br];
+             i < block_row_begin_[br + 1]; ++i) {
+          const BlockData& block = blocks_[i];
+          for (const Entry& entry : block.entries) {
+            y[static_cast<std::size_t>(block.row0 + entry.r)] +=
+                entry.value *
+                scratch[static_cast<std::size_t>(block.col0 + entry.c)];
+          }
+        }
+      });
 }
 
 void RefloatMatrix::spmv_refloat_noisy(std::span<const double> x,
                                        std::span<double> y,
                                        std::vector<double>& scratch,
-                                       double sigma, util::Rng& rng) const {
+                                       double sigma, std::uint64_t seed,
+                                       std::uint64_t sequence) const {
   scratch.resize(x.size());
   quantize_vector(x, scratch);
   sparse::fill(y, 0.0);
   if (format_.b == 0) {
     quantized_.spmv(scratch, y);
+    util::Rng rng(util::stream_seed(seed, sequence, 0));
     for (auto& v : y) v *= 1.0 + sigma * rng.gaussian();
     return;
   }
   const std::size_t side = std::size_t{1} << format_.b;
-  std::vector<double> partial(side);
-  for (const BlockData& block : blocks_) {
-    std::fill(partial.begin(), partial.end(), 0.0);
-    for (const Entry& entry : block.entries) {
-      partial[static_cast<std::size_t>(entry.r)] +=
-          entry.value *
-          scratch[static_cast<std::size_t>(block.col0 + entry.c)];
-    }
-    for (std::size_t r = 0; r < side; ++r) {
-      if (partial[r] == 0.0) continue;
-      y[static_cast<std::size_t>(block.row0) + r] +=
-          partial[r] * (1.0 + sigma * rng.gaussian());
-    }
+  util::ThreadPool::global().parallel_for(
+      block_row_begin_.size() - 1, [&](std::size_t br) {
+        // One counter-based noise stream per (sequence, block-row): the draw
+        // order within a block-row is the serial block order, so the result
+        // does not depend on which thread runs the shard. The partial buffer
+        // is per worker thread (zeroed before each block), not per shard.
+        util::Rng rng(util::stream_seed(seed, sequence, br));
+        thread_local std::vector<double> partial;
+        partial.resize(side);
+        for (std::size_t i = block_row_begin_[br];
+             i < block_row_begin_[br + 1]; ++i) {
+          const BlockData& block = blocks_[i];
+          std::fill(partial.begin(), partial.end(), 0.0);
+          for (const Entry& entry : block.entries) {
+            partial[static_cast<std::size_t>(entry.r)] +=
+                entry.value *
+                scratch[static_cast<std::size_t>(block.col0 + entry.c)];
+          }
+          for (std::size_t r = 0; r < side; ++r) {
+            if (partial[r] == 0.0) continue;
+            y[static_cast<std::size_t>(block.row0) + r] +=
+                partial[r] * (1.0 + sigma * rng.gaussian());
+          }
+        }
+      });
+}
+
+const ConversionStats& RefloatMatrix::probe_definiteness(int steps) const {
+  if (stats_.probe_steps >= steps || rows_ != cols_ || rows_ == 0) {
+    return stats_;
   }
+  const sparse::SpectrumEstimate est = sparse::lanczos_extremes(
+      [this](std::span<const double> v, std::span<double> w) {
+        quantized_.spmv(v, w);
+      },
+      static_cast<std::size_t>(rows_), steps, /*seed=*/0x9e0beULL);
+  stats_.probe_steps = steps;
+  stats_.probe_lambda_min = est.lambda_min;
+  stats_.probe_lambda_max = est.lambda_max;
+  return stats_;
 }
 
 }  // namespace refloat::core

@@ -4,6 +4,11 @@
 //   * the dequantized CSR (`quantized()`), for fast value-faithful SpMV, and
 //   * the per-block payload (`block_data()`), for the bit-true hw/ datapath
 //     and the storage model.
+//
+// The SpMV paths shard by block-row over util::ThreadPool::global()
+// ($REFLOAT_THREADS). Block-rows own disjoint output rows and each
+// block-row's blocks accumulate in the serial (brow, bcol) order, so the
+// result is bit-identical at any thread count.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +31,17 @@ struct ConversionStats {
   int locality_bits = 0;
   // ||A - quantized(A)||_F / ||A||_F.
   double rel_error_fro = 0.0;
+  // Filled by probe_definiteness(): Lanczos Ritz estimates of the quantized
+  // operator's extreme eigenvalues. probe_steps == 0 means not probed yet.
+  int probe_steps = 0;
+  double probe_lambda_min = 0.0;
+  double probe_lambda_max = 0.0;
+  // Coarse quantization can push a thin-lambda_min SPD operator indefinite
+  // (the documented Dubcova2/BiCGSTAB stall); a non-positive smallest Ritz
+  // value predicts that stall before a solver wastes its iteration budget.
+  [[nodiscard]] bool likely_indefinite() const {
+    return probe_steps > 0 && probe_lambda_min <= 0.0;
+  }
 };
 
 class RefloatMatrix {
@@ -54,6 +70,24 @@ class RefloatMatrix {
   [[nodiscard]] const std::vector<BlockData>& block_data() const {
     return blocks_;
   }
+  // blocks_[block_row_begin()[i] .. block_row_begin()[i+1]) is block-row i —
+  // the sharding unit of the threaded SpMV paths (block-rows write disjoint
+  // output rows). Size is block-row count + 1.
+  [[nodiscard]] const std::vector<std::size_t>& block_row_begin() const {
+    return block_row_begin_;
+  }
+
+  // Runs `steps` Lanczos iterations on quantized() (square matrices only)
+  // and caches the extreme Ritz values into stats() — a cheap definiteness
+  // probe: stats().likely_indefinite() predicts the CG/BiCGSTAB stall on
+  // operators that quantization pushed indefinite. Deterministic; repeat
+  // calls with steps <= the cached probe reuse it. The default is sized to
+  // the hardest suite case: Dubcova2's quantization-induced lambda_min of
+  // ~-1e-3 under lambda_max ~10 only surfaces after ~96 steps (fewer steps
+  // read a small *positive* upper bound); 96 SpMVs is still noise next to
+  // the 25000-iteration budget the stall would burn. Not safe to call
+  // concurrently from multiple threads for the same matrix.
+  const ConversionStats& probe_definiteness(int steps = 96) const;
 
   // --- Fig. 4 storage model ----------------------------------------------
   // Per nonzero: 2b in-block index bits + sign + e + f.
@@ -70,22 +104,30 @@ class RefloatMatrix {
 
   // y = quantize(A) * quantize(x). Accumulation is exact (the accelerator
   // accumulates digitally after the ADC). `scratch` holds the quantized
-  // input between calls to avoid reallocation.
+  // input between calls to avoid reallocation. Runs block-rows on the
+  // global thread pool; bit-identical at any thread count.
   void spmv_refloat(std::span<const double> x, std::span<double> y,
                     std::vector<double>& scratch) const;
 
   // Same, with multiplicative Gaussian noise of deviation `sigma` applied to
   // every per-block row partial — the RTN conductance-noise model of Fig. 10.
+  // Noise comes from counter-based streams seeded per (seed, sequence,
+  // block-row), so the result is reproducible at any thread count; pass a
+  // distinct `sequence` per application (e.g. the solver iteration) to get
+  // fresh noise each call.
   void spmv_refloat_noisy(std::span<const double> x, std::span<double> y,
                           std::vector<double>& scratch, double sigma,
-                          util::Rng& rng) const;
+                          std::uint64_t seed, std::uint64_t sequence) const;
 
  private:
   Format format_;
   QuantPolicy policy_;
-  ConversionStats stats_;
+  mutable ConversionStats stats_;  // probe fields filled lazily
   sparse::Csr quantized_;
   std::vector<BlockData> blocks_;  // empty when format_.b == 0
+  // Block-row boundaries into blocks_ (ascending row0 runs;
+  // size = block-row count + 1).
+  std::vector<std::size_t> block_row_begin_;
   sparse::Index original_nnz_ = 0;
   sparse::Index rows_ = 0;
   sparse::Index cols_ = 0;

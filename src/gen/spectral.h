@@ -1,26 +1,16 @@
-// Lanczos extreme-eigenvalue estimation for the Table V condition-number
-// column. Plain Lanczos without reorthogonalization: lambda_max converges
-// fast; lambda_min is an *upper bound* that reads low for ill-conditioned
-// matrices (a caveat bench_table5 reports explicitly).
+// Historical home of the Lanczos extreme-eigenvalue estimator used for the
+// Table V condition-number column and generator calibration. The
+// implementation moved to src/sparse/lanczos.{h,cc} so core/ can run it as a
+// quantized-operator definiteness probe; this header forwards the gen::
+// names the calibration code and benches use.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <span>
+#include "src/sparse/lanczos.h"
 
 namespace refloat::gen {
 
-struct SpectrumEstimate {
-  double lambda_min = 0.0;
-  double lambda_max = 0.0;
-  [[nodiscard]] double kappa() const {
-    return lambda_min > 0.0 ? lambda_max / lambda_min : 0.0;
-  }
-};
-
-using ApplyFn = std::function<void(std::span<const double>, std::span<double>)>;
-
-SpectrumEstimate lanczos_extremes(const ApplyFn& op, std::size_t n, int steps,
-                                  std::uint64_t seed);
+using SpectrumEstimate = sparse::SpectrumEstimate;
+using ApplyFn = sparse::ApplyFn;
+using sparse::lanczos_extremes;
 
 }  // namespace refloat::gen

@@ -11,14 +11,12 @@ namespace {
 
 // Deterministic per-cell-bit hash in [0, 1) for fault selection.
 double cell_hash(std::uint64_t seed, int row, int col, int plane) {
-  std::uint64_t x = seed ^ (static_cast<std::uint64_t>(row) << 40) ^
-                    (static_cast<std::uint64_t>(col) << 20) ^
-                    static_cast<std::uint64_t>(plane);
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  x ^= x >> 31;
-  return static_cast<double>(x >> 11) * 0x1.0p-53;
+  const std::uint64_t x = seed ^ (static_cast<std::uint64_t>(row) << 40) ^
+                          (static_cast<std::uint64_t>(col) << 20) ^
+                          static_cast<std::uint64_t>(plane);
+  const std::uint64_t mixed =
+      util::splitmix64_mix(x + util::kSplitmix64Golden);
+  return static_cast<double>(mixed >> 11) * 0x1.0p-53;
 }
 
 std::vector<std::vector<std::uint64_t>> polarity_codes(
@@ -91,9 +89,17 @@ CrossbarCluster::CrossbarCluster(
 void CrossbarCluster::mvm(const std::vector<std::uint64_t>& x, int x_bits,
                           std::vector<std::int64_t>& y, EngineStats* stats,
                           util::Rng& rng) const {
+  std::vector<std::uint64_t> x_mask;
+  mvm(x, x_bits, y, stats, rng, x_mask);
+}
+
+void CrossbarCluster::mvm(const std::vector<std::uint64_t>& x, int x_bits,
+                          std::vector<std::int64_t>& y, EngineStats* stats,
+                          util::Rng& rng,
+                          std::vector<std::uint64_t>& x_mask) const {
   std::fill(y.begin(), y.end(), 0);
   const std::int64_t full_scale = (std::int64_t{1} << config_.adc.bits) - 1;
-  std::vector<std::uint64_t> x_mask(static_cast<std::size_t>(words_));
+  x_mask.resize(static_cast<std::size_t>(words_));
   for (int q = 0; q < x_bits; ++q) {
     std::fill(x_mask.begin(), x_mask.end(), 0);
     bool any = false;
@@ -167,6 +173,13 @@ ProcessingEngine::ProcessingEngine(
 
 void ProcessingEngine::apply(std::span<const double> x, std::span<double> y,
                              EngineStats* stats, util::Rng& rng) const {
+  EngineScratch scratch;
+  apply(x, y, stats, rng, scratch);
+}
+
+void ProcessingEngine::apply(std::span<const double> x, std::span<double> y,
+                             EngineStats* stats, util::Rng& rng,
+                             EngineScratch& scratch) const {
   // Quantize the incoming segment in ReFloat vector format and split it
   // into positive / negative bit-serial phases.
   const int base_x = core::select_block_base(x, format_.ev, policy_);
@@ -176,32 +189,37 @@ void ProcessingEngine::apply(std::span<const double> x, std::span<double> y,
   const int x_bits =
       static_cast<int>(core::model_bits(format_.ev, format_.fv));
 
-  std::vector<std::uint64_t> x_pos(x.size(), 0);
-  std::vector<std::uint64_t> x_neg(x.size(), 0);
+  scratch.x_pos.assign(x.size(), 0);
+  scratch.x_neg.assign(x.size(), 0);
   for (std::size_t j = 0; j < x.size(); ++j) {
     const double q = core::quantize_value(x[j], base_x, format_.ev,
                                           format_.fv, policy_, nullptr);
     const auto code =
         static_cast<std::uint64_t>(std::llround(std::abs(q) / step_x));
     if (q > 0.0) {
-      x_pos[j] = code;
+      scratch.x_pos[j] = code;
     } else if (q < 0.0) {
-      x_neg[j] = code;
+      scratch.x_neg[j] = code;
     }
   }
 
-  std::vector<std::int64_t> pp(static_cast<std::size_t>(side_));
-  std::vector<std::int64_t> pn(static_cast<std::size_t>(side_));
-  std::vector<std::int64_t> np(static_cast<std::size_t>(side_));
-  std::vector<std::int64_t> nn(static_cast<std::size_t>(side_));
-  positive_.mvm(x_pos, x_bits, pp, stats, rng);
-  positive_.mvm(x_neg, x_bits, pn, stats, rng);
-  negative_.mvm(x_pos, x_bits, np, stats, rng);
-  negative_.mvm(x_neg, x_bits, nn, stats, rng);
+  scratch.pp.resize(static_cast<std::size_t>(side_));
+  scratch.pn.resize(static_cast<std::size_t>(side_));
+  scratch.np.resize(static_cast<std::size_t>(side_));
+  scratch.nn.resize(static_cast<std::size_t>(side_));
+  positive_.mvm(scratch.x_pos, x_bits, scratch.pp, stats, rng,
+                scratch.x_mask);
+  positive_.mvm(scratch.x_neg, x_bits, scratch.pn, stats, rng,
+                scratch.x_mask);
+  negative_.mvm(scratch.x_pos, x_bits, scratch.np, stats, rng,
+                scratch.x_mask);
+  negative_.mvm(scratch.x_neg, x_bits, scratch.nn, stats, rng,
+                scratch.x_mask);
 
   const double scale = cell_step_ * step_x;
   for (std::size_t i = 0; i < y.size(); ++i) {
-    y[i] += scale * static_cast<double>(pp[i] - pn[i] - np[i] + nn[i]);
+    y[i] += scale * static_cast<double>(scratch.pp[i] - scratch.pn[i] -
+                                        scratch.np[i] + scratch.nn[i]);
   }
 }
 

@@ -38,6 +38,23 @@ struct EngineStats {
   long long crossbar_ops = 0;  // (plane, input-bit, row) ADC samples
   long long adc_clips = 0;     // samples clipped at full scale
   long long faulty_cells = 0;  // cell-bits altered by stuck-at faults
+
+  EngineStats& operator+=(const EngineStats& other) {
+    crossbar_ops += other.crossbar_ops;
+    adc_clips += other.adc_clips;
+    faulty_cells += other.faulty_cells;
+    return *this;
+  }
+};
+
+// Reusable buffers for the bit-serial datapath. One instance per thread:
+// with a scratch supplied, ProcessingEngine::apply allocates nothing — the
+// difference between this and a fresh set of vectors per block dominates
+// the per-iteration cost of the solver-driven ablations.
+struct EngineScratch {
+  std::vector<std::uint64_t> x_mask;          // one input-bit column mask
+  std::vector<std::uint64_t> x_pos, x_neg;    // bit-serial input phases
+  std::vector<std::int64_t> pp, pn, np, nn;   // quadrant accumulators
 };
 
 // One signed-magnitude polarity of a block: integer cell codes bit-sliced
@@ -51,7 +68,11 @@ class CrossbarCluster {
                   int planes, ClusterConfig config = {});
 
   // y[i] = sum_j m[i][j] * x[j], computed plane-by-plane and input-bit by
-  // input-bit through the ADC. x entries must fit in x_bits.
+  // input-bit through the ADC. x entries must fit in x_bits. `x_mask` is
+  // per-call scratch (resized as needed); the overload without it allocates.
+  void mvm(const std::vector<std::uint64_t>& x, int x_bits,
+           std::vector<std::int64_t>& y, EngineStats* stats, util::Rng& rng,
+           std::vector<std::uint64_t>& x_mask) const;
   void mvm(const std::vector<std::uint64_t>& x, int x_bits,
            std::vector<std::int64_t>& y, EngineStats* stats,
            util::Rng& rng) const;
@@ -84,7 +105,11 @@ class ProcessingEngine {
                    core::QuantPolicy policy = {});
 
   // y += block * x in refloat semantics via the bit-true path. x and y span
-  // the engine's block side.
+  // the engine's block side. `scratch` must not be shared between threads;
+  // the overload without it allocates per call.
+  void apply(std::span<const double> x, std::span<double> y,
+             EngineStats* stats, util::Rng& rng,
+             EngineScratch& scratch) const;
   void apply(std::span<const double> x, std::span<double> y,
              EngineStats* stats, util::Rng& rng) const;
 

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 
+#include "src/util/thread_pool.h"
+
 namespace refloat::hw {
 
 HwSpmv::HwSpmv(const core::RefloatMatrix& rf, ClusterConfig config)
     : rows_(rf.quantized().rows()),
       cols_(rf.quantized().cols()),
-      side_(1 << rf.format().b) {
+      side_(1 << rf.format().b),
+      noisy_(config.noise.sigma > 0.0) {
   engines_.reserve(rf.nonzero_blocks());
   std::vector<std::vector<double>> dense(
       static_cast<std::size_t>(side_),
@@ -23,32 +26,53 @@ HwSpmv::HwSpmv(const core::RefloatMatrix& rf, ClusterConfig config)
          ProcessingEngine(dense, block.base, rf.format(), config,
                           rf.policy())});
   }
-  x_seg_.resize(static_cast<std::size_t>(side_));
-  y_seg_.resize(static_cast<std::size_t>(side_));
+  row_begin_.push_back(0);
+  for (std::size_t i = 1; i < engines_.size(); ++i) {
+    if (engines_[i].row0 != engines_[i - 1].row0) row_begin_.push_back(i);
+  }
+  row_begin_.push_back(engines_.size());
 }
 
 void HwSpmv::apply(std::span<const double> x, std::span<double> y,
                    util::Rng& rng) {
   std::fill(y.begin(), y.end(), 0.0);
-  for (const BlockEngine& be : engines_) {
-    // Gather the (possibly edge-truncated) input segment, zero-padded to the
-    // crossbar side.
-    const sparse::Index col_end =
-        std::min<sparse::Index>(be.col0 + side_, cols_);
-    std::fill(x_seg_.begin(), x_seg_.end(), 0.0);
-    for (sparse::Index c = be.col0; c < col_end; ++c) {
-      x_seg_[static_cast<std::size_t>(c - be.col0)] =
-          x[static_cast<std::size_t>(c)];
+  const std::size_t n_block_rows = row_begin_.size() - 1;
+  // One caller draw seeds all per-block-row noise streams; the engines only
+  // consume randomness when noise is configured.
+  const std::uint64_t noise_base = noisy_ ? rng.next() : 0;
+  std::vector<EngineStats> row_stats(n_block_rows);
+  util::ThreadPool::global().parallel_for(n_block_rows, [&](std::size_t br) {
+    // Per worker thread, not per shard: every buffer is fully overwritten
+    // before use, so reuse across shards/applies is safe and keeps the hot
+    // loop allocation-free. Only the Rng must be per-shard (determinism).
+    thread_local EngineScratch scratch;
+    thread_local std::vector<double> x_seg;
+    thread_local std::vector<double> y_seg;
+    x_seg.resize(static_cast<std::size_t>(side_));
+    y_seg.resize(static_cast<std::size_t>(side_));
+    util::Rng block_rng(util::stream_seed(noise_base, br, 0));
+    for (std::size_t i = row_begin_[br]; i < row_begin_[br + 1]; ++i) {
+      const BlockEngine& be = engines_[i];
+      // Gather the (possibly edge-truncated) input segment, zero-padded to
+      // the crossbar side.
+      const sparse::Index col_end =
+          std::min<sparse::Index>(be.col0 + side_, cols_);
+      std::fill(x_seg.begin(), x_seg.end(), 0.0);
+      for (sparse::Index c = be.col0; c < col_end; ++c) {
+        x_seg[static_cast<std::size_t>(c - be.col0)] =
+            x[static_cast<std::size_t>(c)];
+      }
+      std::fill(y_seg.begin(), y_seg.end(), 0.0);
+      be.engine.apply(x_seg, y_seg, &row_stats[br], block_rng, scratch);
+      const sparse::Index row_end =
+          std::min<sparse::Index>(be.row0 + side_, rows_);
+      for (sparse::Index r = be.row0; r < row_end; ++r) {
+        y[static_cast<std::size_t>(r)] +=
+            y_seg[static_cast<std::size_t>(r - be.row0)];
+      }
     }
-    std::fill(y_seg_.begin(), y_seg_.end(), 0.0);
-    be.engine.apply(x_seg_, y_seg_, &stats_, rng);
-    const sparse::Index row_end =
-        std::min<sparse::Index>(be.row0 + side_, rows_);
-    for (sparse::Index r = be.row0; r < row_end; ++r) {
-      y[static_cast<std::size_t>(r)] +=
-          y_seg_[static_cast<std::size_t>(r - be.row0)];
-    }
-  }
+  });
+  for (const EngineStats& s : row_stats) stats_ += s;
 }
 
 }  // namespace refloat::hw

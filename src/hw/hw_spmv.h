@@ -1,8 +1,15 @@
 // Whole-matrix SpMV over the bit-true datapath: one ProcessingEngine per
 // nonzero ReFloat block, partial outputs accumulated digitally — the
 // hardware-exact counterpart of RefloatMatrix::spmv_refloat.
+//
+// apply() shards by block-row over util::ThreadPool::global()
+// ($REFLOAT_THREADS): block-rows own disjoint output rows, every shard
+// carries its own EngineScratch and EngineStats (summed in block-row order
+// afterwards), and noise draws come from one counter-based stream per
+// block-row — so the result is bit-identical at any thread count.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -15,7 +22,9 @@ class HwSpmv {
  public:
   HwSpmv(const core::RefloatMatrix& rf, ClusterConfig config);
 
-  // y = A x through the crossbar engines.
+  // y = A x through the crossbar engines. `rng` advances exactly once per
+  // call when conductance noise is configured (it seeds the per-block-row
+  // noise streams) and not at all otherwise.
   void apply(std::span<const double> x, std::span<double> y,
              util::Rng& rng);
 
@@ -32,9 +41,11 @@ class HwSpmv {
   sparse::Index rows_ = 0;
   sparse::Index cols_ = 0;
   int side_ = 0;
+  bool noisy_ = false;
   std::vector<BlockEngine> engines_;
-  std::vector<double> x_seg_;
-  std::vector<double> y_seg_;
+  // engines_[row_begin_[i] .. row_begin_[i+1]) share row0 — the threading
+  // shard (size = block-row count + 1).
+  std::vector<std::size_t> row_begin_;
   EngineStats stats_;
 };
 

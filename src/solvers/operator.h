@@ -1,6 +1,12 @@
 // The platform operators of the evaluation: exact double, ReFloat, the
 // Feinberg [32] fixed-point baseline, global FP truncation (Table I), and
 // the RTN-noise ReFloat variant (Fig. 10).
+//
+// Threading contract: parallelism lives *inside* the SpMV (block-row shards
+// on util::ThreadPool::global()), so apply() is called from one solver
+// thread. Scratch buffers are per-instance, never shared across operators:
+// one instance must not be applied concurrently from two threads, but
+// distinct instances (one per solve) can run side by side.
 #pragma once
 
 #include <span>
@@ -93,14 +99,17 @@ class TruncatedOperator final : public LinearOperator {
 };
 
 // ReFloat SpMV with multiplicative Gaussian RTN noise of deviation sigma on
-// every per-block row partial (Fig. 10's conductance-noise model).
+// every per-block row partial (Fig. 10's conductance-noise model). Noise
+// streams are counter-based per (seed, application, block-row) — not one
+// shared Rng advanced in iteration order — so a solve is reproducible at
+// any REFLOAT_THREADS setting.
 class NoisyRefloatOperator final : public LinearOperator {
  public:
   NoisyRefloatOperator(const core::RefloatMatrix& rf, double sigma,
                        std::uint64_t seed)
-      : rf_(rf), sigma_(sigma), rng_(seed) {}
+      : rf_(rf), sigma_(sigma), seed_(seed) {}
   void apply(std::span<const double> x, std::span<double> y) override {
-    rf_.spmv_refloat_noisy(x, y, scratch_, sigma_, rng_);
+    rf_.spmv_refloat_noisy(x, y, scratch_, sigma_, seed_, sequence_++);
   }
   [[nodiscard]] sparse::Index dim() const override {
     return rf_.quantized().rows();
@@ -110,7 +119,8 @@ class NoisyRefloatOperator final : public LinearOperator {
  private:
   const core::RefloatMatrix& rf_;
   double sigma_;
-  util::Rng rng_;
+  std::uint64_t seed_;
+  std::uint64_t sequence_ = 0;  // distinct noise per application
   std::vector<double> scratch_;
 };
 

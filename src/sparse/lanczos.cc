@@ -1,4 +1,4 @@
-#include "src/gen/spectral.h"
+#include "src/sparse/lanczos.h"
 
 #include <algorithm>
 #include <cmath>
@@ -7,7 +7,7 @@
 #include "src/sparse/vector_ops.h"
 #include "src/util/random.h"
 
-namespace refloat::gen {
+namespace refloat::sparse {
 
 namespace {
 
@@ -48,7 +48,7 @@ SpectrumEstimate lanczos_extremes(const ApplyFn& op, std::size_t n, int steps,
   util::Rng rng(seed);
   std::vector<double> v(n);
   for (double& x : v) x = rng.gaussian();
-  const double v_norm = sparse::norm2(v);
+  const double v_norm = norm2(v);
   for (double& x : v) x /= v_norm;
 
   std::vector<double> v_prev(n, 0.0);
@@ -59,12 +59,12 @@ SpectrumEstimate lanczos_extremes(const ApplyFn& op, std::size_t n, int steps,
   double beta_prev = 0.0;
   for (int k = 0; k < steps; ++k) {
     op(v, w);
-    const double a = sparse::dot(v, w);
+    const double a = dot(v, w);
     alpha.push_back(a);
     for (std::size_t i = 0; i < n; ++i) {
       w[i] -= a * v[i] + beta_prev * v_prev[i];
     }
-    const double b = sparse::norm2(w);
+    const double b = norm2(w);
     if (b < 1e-13 * std::abs(a) || k + 1 == steps) break;
     beta.push_back(b);
     beta_prev = b;
@@ -89,4 +89,4 @@ SpectrumEstimate lanczos_extremes(const ApplyFn& op, std::size_t n, int steps,
   return est;
 }
 
-}  // namespace refloat::gen
+}  // namespace refloat::sparse

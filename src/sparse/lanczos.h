@@ -1,0 +1,30 @@
+// Lanczos extreme-eigenvalue estimation over an abstract apply oracle.
+// Plain Lanczos without reorthogonalization: lambda_max converges fast;
+// lambda_min is an *upper bound* that reads low for ill-conditioned
+// matrices (a caveat bench_table5 reports explicitly).
+//
+// Lives in sparse/ (not gen/) so core/ can run a few steps on a quantized
+// operator as a definiteness probe; gen/spectral.h forwards the historical
+// names for the calibration code.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace refloat::sparse {
+
+struct SpectrumEstimate {
+  double lambda_min = 0.0;
+  double lambda_max = 0.0;
+  [[nodiscard]] double kappa() const {
+    return lambda_min > 0.0 ? lambda_max / lambda_min : 0.0;
+  }
+};
+
+using ApplyFn = std::function<void(std::span<const double>, std::span<double>)>;
+
+SpectrumEstimate lanczos_extremes(const ApplyFn& op, std::size_t n, int steps,
+                                  std::uint64_t seed);
+
+}  // namespace refloat::sparse

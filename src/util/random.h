@@ -7,17 +7,36 @@
 
 namespace refloat::util {
 
+// The golden-ratio increment and finalizer of splitmix64 — the one bit
+// mixer shared by Rng seeding, stream_seed, and the hw/ fault-cell hash.
+inline constexpr std::uint64_t kSplitmix64Golden = 0x9e3779b97f4a7c15ull;
+
+inline std::uint64_t splitmix64_mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Deterministic 64-bit mix of a seed and two counters (splitmix64 finalizer
+// chain) — the basis of counter-based RNG streams: Rng(stream_seed(seed,
+// sequence, shard)) yields one independent stream per (sequence, shard)
+// regardless of which thread draws from it or in what order shards run.
+inline std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t sequence,
+                                 std::uint64_t shard) {
+  const auto mix = [](std::uint64_t x) {
+    return splitmix64_mix(x + kSplitmix64Golden);
+  };
+  return mix(seed ^ mix(sequence ^ mix(shard)));
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) {
     // splitmix64 expansion of the seed into the xoshiro state.
-    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = seed + kSplitmix64Golden;
     for (auto& s : state_) {
-      z += 0x9e3779b97f4a7c15ull;
-      std::uint64_t x = z;
-      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-      s = x ^ (x >> 31);
+      z += kSplitmix64Golden;
+      s = splitmix64_mix(z);
     }
   }
 

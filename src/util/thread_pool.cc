@@ -1,0 +1,129 @@
+#include "src/util/thread_pool.h"
+
+#include <cstdlib>
+#include <memory>
+
+namespace refloat::util {
+
+namespace {
+
+// Set while the current thread is executing pool work (worker or the
+// participating caller). Nested parallel_for calls from such a thread run
+// inline — a second fork would deadlock on run_mutex_.
+thread_local bool t_in_pool_region = false;
+
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool> g_global_pool;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads < 1) threads = 1;
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_span(const std::function<void(std::size_t)>& fn,
+                          std::size_t n) {
+  for (;;) {
+    const std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    try {
+      fn(i);
+    } catch (...) {
+      // An unwind from the *caller's* slice would destroy the job while
+      // workers still run it and poison the region flag; make the header's
+      // "an escaping exception terminates the process" true on every
+      // thread (workers get this from std::thread for free).
+      std::terminate();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  t_in_pool_region = true;
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+      n = job_size_;
+    }
+    run_span(*job, n);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--workers_running_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1 || t_in_pool_region) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_size_ = n;
+    next_index_.store(0, std::memory_order_relaxed);
+    workers_running_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  t_in_pool_region = true;
+  run_span(fn, n);
+  t_in_pool_region = false;
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return workers_running_ == 0; });
+  job_ = nullptr;
+}
+
+int ThreadPool::default_threads() {
+  if (const char* env = std::getenv("REFLOAT_THREADS")) {
+    if (env[0] != '\0') {
+      // A set variable always wins; values < 1 (incl. unparseable) clamp to
+      // 1 — REFLOAT_THREADS=0 must mean serial, never full concurrency.
+      const long parsed = std::strtol(env, nullptr, 10);
+      return parsed >= 1 ? static_cast<int>(parsed) : 1;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  if (!g_global_pool) {
+    g_global_pool = std::make_unique<ThreadPool>(default_threads());
+  }
+  return *g_global_pool;
+}
+
+void ThreadPool::set_global_threads(int threads) {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  g_global_pool = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace refloat::util

@@ -1,0 +1,73 @@
+// A small reusable fork-join thread pool for the SpMV hot paths.
+//
+// Design constraints (docs/ARCHITECTURE.md "Parallelism"):
+//   * one process-wide pool, sized by $REFLOAT_THREADS (default: hardware
+//     concurrency) — callers never spawn ad-hoc threads;
+//   * parallel_for(n, fn) runs fn(0..n-1) across the workers plus the
+//     calling thread and blocks until every index completed. Indices are
+//     claimed dynamically (atomic counter), so shards must be independent:
+//     callers get determinism by making each index own a disjoint output
+//     range, not by relying on scheduling order;
+//   * re-entrant parallel_for calls (fn itself calling parallel_for) run
+//     inline on the current thread instead of deadlocking;
+//   * fn must not throw — an escaping exception terminates the process.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace refloat::util {
+
+class ThreadPool {
+ public:
+  // `threads` is the total parallelism including the calling thread;
+  // values < 1 are clamped to 1 (1 = fully inline, no workers).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total parallelism (workers + the calling thread).
+  [[nodiscard]] int size() const {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  // Runs fn(i) for every i in [0, n), blocking until all complete.
+  // Concurrent parallel_for calls from different threads serialize.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // The process-wide pool, created on first use with default_threads().
+  static ThreadPool& global();
+
+  // $REFLOAT_THREADS when set to a positive integer, else
+  // std::thread::hardware_concurrency() (min 1).
+  static int default_threads();
+
+  // Replaces the global pool (tests and benches sweeping thread counts).
+  // Must not race in-flight parallel work.
+  static void set_global_threads(int threads);
+
+ private:
+  void worker_loop();
+  void run_span(const std::function<void(std::size_t)>& fn, std::size_t n);
+
+  std::vector<std::thread> workers_;
+  std::mutex run_mutex_;  // serializes concurrent parallel_for callers
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_size_ = 0;
+  std::atomic<std::size_t> next_index_{0};
+  std::size_t workers_running_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace refloat::util

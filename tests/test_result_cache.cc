@@ -1,0 +1,144 @@
+// bench::ResultCache sharding/locking contract: rows are appended per
+// matrix under flock, so concurrent writers — the regression here was two
+// bench binaries rewriting one shared CSV wholesale on destruction and
+// silently clobbering each other — can never lose or interleave rows.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace refloat::bench {
+namespace {
+
+class ResultCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("refloat_result_cache_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static SolveRecord record(const std::string& matrix,
+                            const std::string& solver,
+                            const std::string& platform, long iterations) {
+    SolveRecord rec;
+    rec.matrix = matrix;
+    rec.solver = solver;
+    rec.platform = platform;
+    rec.iterations = iterations;
+    rec.status = "converged";
+    rec.final_residual = 1.25e-9;
+    rec.true_residual = 2.5e-9;
+    rec.wall_seconds = 0.25;
+    return rec;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ResultCacheTest, RoundTripsThroughPerMatrixShards) {
+  {
+    ResultCache cache(dir_);
+    cache.put(record("crystm03", "CG", "refloat", 91));
+    cache.put(record("wathen120", "CG", "double", 254));
+  }
+  EXPECT_TRUE(std::filesystem::exists(
+      std::filesystem::path(dir_) / "crystm03.csv"));
+  EXPECT_TRUE(std::filesystem::exists(
+      std::filesystem::path(dir_) / "wathen120.csv"));
+
+  ResultCache reloaded(dir_);
+  const auto hit = reloaded.get("crystm03", "CG", "refloat");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->iterations, 91);
+  EXPECT_EQ(hit->status, "converged");
+  EXPECT_EQ(hit->final_residual, 1.25e-9);  // %.17g round-trips exactly
+  EXPECT_FALSE(reloaded.get("crystm03", "CG", "double").has_value());
+}
+
+TEST_F(ResultCacheTest, AppendsRowsAndLastWriteWins) {
+  {
+    ResultCache cache(dir_);
+    cache.put(record("crystm03", "CG", "refloat", 91));
+    cache.put(record("crystm03", "CG", "refloat", 123));
+  }
+  // Append-only: both rows are on disk, plus the header.
+  std::ifstream in(std::filesystem::path(dir_) / "crystm03.csv");
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 3);
+
+  ResultCache reloaded(dir_);
+  ASSERT_TRUE(reloaded.get("crystm03", "CG", "refloat").has_value());
+  EXPECT_EQ(reloaded.get("crystm03", "CG", "refloat")->iterations, 123);
+}
+
+TEST_F(ResultCacheTest, ImportsLegacySingleFileLayout) {
+  {
+    std::ofstream legacy(std::filesystem::path(dir_) / "solves.csv");
+    legacy << "matrix,solver,platform,iterations,status,final_residual,"
+              "true_residual,wall_seconds\n";
+    legacy << "crystm03,CG,double,88,converged,9.9e-09,9.9e-09,0.5\n";
+  }
+  ResultCache cache(dir_);
+  const auto hit = cache.get("crystm03", "CG", "double");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->iterations, 88);
+}
+
+TEST_F(ResultCacheTest, ShardOverridesLegacyRow) {
+  {
+    std::ofstream legacy(std::filesystem::path(dir_) / "solves.csv");
+    legacy << "crystm03,CG,double,88,converged,9.9e-09,9.9e-09,0.5\n";
+  }
+  {
+    ResultCache cache(dir_);
+    cache.put(record("crystm03", "CG", "double", 90));
+  }
+  ResultCache reloaded(dir_);
+  EXPECT_EQ(reloaded.get("crystm03", "CG", "double")->iterations, 90);
+}
+
+TEST_F(ResultCacheTest, ConcurrentWritersLoseZeroRows) {
+  // Two writers, each with its own cache instance (the two-bench-binaries
+  // scenario), hammer the same matrix shard. Every row must survive.
+  constexpr int kRowsPerWriter = 200;
+  const auto writer = [&](const std::string& platform) {
+    ResultCache cache(dir_);
+    for (int i = 0; i < kRowsPerWriter; ++i) {
+      cache.put(record("crystm03", "solver" + std::to_string(i), platform,
+                       i));
+    }
+  };
+  std::thread a(writer, "double");
+  std::thread b(writer, "refloat");
+  a.join();
+  b.join();
+
+  ResultCache reloaded(dir_);
+  for (int i = 0; i < kRowsPerWriter; ++i) {
+    const std::string solver = "solver" + std::to_string(i);
+    const auto on_double = reloaded.get("crystm03", solver, "double");
+    const auto on_refloat = reloaded.get("crystm03", solver, "refloat");
+    ASSERT_TRUE(on_double.has_value()) << solver;
+    ASSERT_TRUE(on_refloat.has_value()) << solver;
+    EXPECT_EQ(on_double->iterations, i);
+    EXPECT_EQ(on_refloat->iterations, i);
+  }
+}
+
+}  // namespace
+}  // namespace refloat::bench
