@@ -5,6 +5,10 @@
 // not modeled accelerator time.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <span>
+#include <vector>
+
 #include "src/core/refloat_matrix.h"
 #include "src/gen/grid.h"
 #include "src/hw/engine.h"
@@ -60,6 +64,9 @@ void BM_QuantizeVector(benchmark::State& state) {
 }
 BENCHMARK(BM_QuantizeVector);
 
+// Plan-SpMV (the contiguous SoA arena hot path) with throughput counters:
+// FLOPS (2 flops per stored nonzero per pass) and the arena's payload
+// bytes per nonzero — compare against BM_LegacyBlockSpmv below.
 void BM_RefloatSpmv(benchmark::State& state) {
   const sparse::Csr a = make_matrix(state.range(0));
   const core::RefloatMatrix rf(a, core::default_format());
@@ -72,10 +79,196 @@ void BM_RefloatSpmv(benchmark::State& state) {
     rf.spmv_refloat(x, y, scratch);
     benchmark::DoNotOptimize(y.data());
   }
+  const auto nnz = static_cast<double>(rf.plan().num_entries());
   state.SetItemsProcessed(static_cast<long>(state.iterations()) *
                           static_cast<long>(a.nnz()));
+  state.counters["FLOPS"] = benchmark::Counter(
+      2.0 * nnz, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::OneK::kIs1000);
+  state.counters["bytes_per_nnz"] =
+      static_cast<double>(rf.plan().payload_bytes()) / nnz;
 }
 BENCHMARK(BM_RefloatSpmv)->Arg(64)->Arg(128)->Arg(256);
+
+// The pre-plan payload: one heap-allocated entry vector per block
+// (pointer-chasing AoS), rebuilt from the plan and walked in the same
+// serial order — the layout baseline the SpmvPlan replaced.
+void BM_LegacyBlockSpmv(benchmark::State& state) {
+  const sparse::Csr a = make_matrix(state.range(0));
+  const core::RefloatMatrix rf(a, core::default_format());
+  struct LegacyEntry {
+    std::int32_t r, c;
+    double v;
+  };
+  struct LegacyBlock {
+    sparse::Index row0, col0;
+    std::vector<LegacyEntry> entries;
+  };
+  const core::SpmvPlan& plan = rf.plan();
+  std::vector<LegacyBlock> blocks(plan.num_blocks());
+  std::size_t legacy_bytes = plan.num_blocks() * sizeof(LegacyBlock);
+  for (std::size_t j = 0; j < plan.num_blocks(); ++j) {
+    blocks[j].row0 = plan.row0[j];
+    blocks[j].col0 = plan.col0[j];
+    for (std::size_t e = plan.entry_ptr[j]; e < plan.entry_ptr[j + 1]; ++e) {
+      blocks[j].entries.push_back(
+          {plan.entry_row[e], plan.entry_col[e], plan.entry_value[e]});
+    }
+    legacy_bytes += blocks[j].entries.size() * sizeof(LegacyEntry);
+  }
+  util::Rng rng(7);
+  std::vector<double> x(a.rows());
+  for (double& v : x) v = rng.gaussian();
+  std::vector<double> y(a.rows());
+  std::vector<double> xq(x.size());
+  for (auto _ : state) {
+    rf.quantize_vector(x, xq);
+    std::fill(y.begin(), y.end(), 0.0);
+    for (const LegacyBlock& block : blocks) {
+      for (const LegacyEntry& entry : block.entries) {
+        y[static_cast<std::size_t>(block.row0 + entry.r)] +=
+            entry.v * xq[static_cast<std::size_t>(block.col0 + entry.c)];
+      }
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  const auto nnz = static_cast<double>(plan.num_entries());
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(a.nnz()));
+  state.counters["FLOPS"] = benchmark::Counter(
+      2.0 * nnz, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::OneK::kIs1000);
+  state.counters["bytes_per_nnz"] = static_cast<double>(legacy_bytes) / nnz;
+}
+BENCHMARK(BM_LegacyBlockSpmv)->Arg(64)->Arg(128)->Arg(256);
+
+// SpMM with k=8 right-hand sides: every plan block visited once per batch.
+void BM_RefloatSpmm8(benchmark::State& state) {
+  constexpr std::size_t kRhs = 8;
+  const sparse::Csr a = make_matrix(state.range(0));
+  const core::RefloatMatrix rf(a, core::default_format());
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  util::Rng rng(7);
+  std::vector<double> x(n * kRhs);
+  for (double& v : x) v = rng.gaussian();
+  std::vector<double> y(n * kRhs);
+  core::MultiSpmvScratch scratch;
+  for (auto _ : state) {
+    rf.spmv_refloat_multi(x, kRhs, y, scratch);
+    benchmark::DoNotOptimize(y.data());
+  }
+  const auto nnz = static_cast<double>(rf.plan().num_entries());
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(a.nnz()) *
+                          static_cast<long>(kRhs));
+  state.counters["FLOPS"] = benchmark::Counter(
+      2.0 * nnz * static_cast<double>(kRhs),
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::OneK::kIs1000);
+}
+BENCHMARK(BM_RefloatSpmm8)->Arg(64)->Arg(128)->Arg(256);
+
+// Kernel-only views of the same comparison: the raw plan-arena sweeps with
+// pre-quantized operands, isolating the batching effect (one index-stream
+// pass with an unrolled 8-wide inner loop vs 8 full passes) from the
+// per-column vector quantization that both full paths pay identically.
+void BM_PlanKernelSpmm8(benchmark::State& state) {
+  constexpr std::size_t kRhs = 8;
+  const sparse::Csr a = make_matrix(state.range(0));
+  const core::RefloatMatrix rf(a, core::default_format());
+  const core::SpmvPlan& plan = rf.plan();
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  util::Rng rng(7);
+  std::vector<double> x(n * kRhs);
+  for (double& v : x) v = rng.gaussian();
+  std::vector<double> y(n * kRhs);
+  for (auto _ : state) {
+    std::fill(y.begin(), y.end(), 0.0);
+    for (std::size_t j = 0; j < plan.num_blocks(); ++j) {
+      const std::size_t r0 = static_cast<std::size_t>(plan.row0[j]);
+      const std::size_t c0 = static_cast<std::size_t>(plan.col0[j]);
+      for (std::size_t e = plan.entry_ptr[j]; e < plan.entry_ptr[j + 1];
+           ++e) {
+        const double v = plan.entry_value[e];
+        const double* xs =
+            x.data() + (c0 + static_cast<std::size_t>(plan.entry_col[e])) *
+                           kRhs;
+        double* ys =
+            y.data() + (r0 + static_cast<std::size_t>(plan.entry_row[e])) *
+                           kRhs;
+        for (std::size_t col = 0; col < kRhs; ++col) ys[col] += v * xs[col];
+      }
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(a.nnz()) *
+                          static_cast<long>(kRhs));
+}
+BENCHMARK(BM_PlanKernelSpmm8)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_PlanKernelSpmv8Sequential(benchmark::State& state) {
+  constexpr std::size_t kRhs = 8;
+  const sparse::Csr a = make_matrix(state.range(0));
+  const core::RefloatMatrix rf(a, core::default_format());
+  const core::SpmvPlan& plan = rf.plan();
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  util::Rng rng(7);
+  std::vector<double> x(n * kRhs);
+  for (double& v : x) v = rng.gaussian();
+  std::vector<double> y(n);
+  for (auto _ : state) {
+    for (std::size_t rhs = 0; rhs < kRhs; ++rhs) {
+      const double* xs = x.data() + rhs * n;
+      std::fill(y.begin(), y.end(), 0.0);
+      for (std::size_t j = 0; j < plan.num_blocks(); ++j) {
+        const std::size_t r0 = static_cast<std::size_t>(plan.row0[j]);
+        const std::size_t c0 = static_cast<std::size_t>(plan.col0[j]);
+        for (std::size_t e = plan.entry_ptr[j]; e < plan.entry_ptr[j + 1];
+             ++e) {
+          y[r0 + static_cast<std::size_t>(plan.entry_row[e])] +=
+              plan.entry_value[e] *
+              xs[c0 + static_cast<std::size_t>(plan.entry_col[e])];
+        }
+      }
+      benchmark::DoNotOptimize(y.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(a.nnz()) *
+                          static_cast<long>(kRhs));
+}
+BENCHMARK(BM_PlanKernelSpmv8Sequential)->Arg(64)->Arg(128)->Arg(256);
+
+// The same 8 right-hand sides as 8 sequential single-RHS SpMVs — the
+// baseline BM_RefloatSpmm8 amortizes away.
+void BM_RefloatSpmv8Sequential(benchmark::State& state) {
+  constexpr std::size_t kRhs = 8;
+  const sparse::Csr a = make_matrix(state.range(0));
+  const core::RefloatMatrix rf(a, core::default_format());
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  util::Rng rng(7);
+  std::vector<double> x(n * kRhs);
+  for (double& v : x) v = rng.gaussian();
+  std::vector<double> y(n);
+  std::vector<double> scratch;
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < kRhs; ++j) {
+      rf.spmv_refloat(std::span<const double>(x).subspan(j * n, n), y,
+                      scratch);
+      benchmark::DoNotOptimize(y.data());
+    }
+  }
+  const auto nnz = static_cast<double>(rf.plan().num_entries());
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(a.nnz()) *
+                          static_cast<long>(kRhs));
+  state.counters["FLOPS"] = benchmark::Counter(
+      2.0 * nnz * static_cast<double>(kRhs),
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::OneK::kIs1000);
+}
+BENCHMARK(BM_RefloatSpmv8Sequential)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_ClusterMvm(benchmark::State& state) {
   // 128x128 bit-true cluster with the default matrix width (11 planes).

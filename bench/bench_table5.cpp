@@ -4,7 +4,7 @@
 #include <cstdio>
 
 #include "bench/harness.h"
-#include "src/gen/spectral.h"
+#include "src/sparse/lanczos.h"
 #include "src/util/table.h"
 
 int main() {
@@ -23,7 +23,7 @@ int main() {
   for (const gen::SuiteSpec& spec : gen::suite()) {
     const MatrixBundle bundle = load_bundle(spec);
     const auto& a = bundle.a;
-    const gen::SpectrumEstimate est = gen::lanczos_extremes(
+    const sparse::SpectrumEstimate est = sparse::lanczos_extremes(
         [&a](std::span<const double> x, std::span<double> y) {
           a.spmv(x, y);
         },

@@ -71,6 +71,14 @@ class ResultCache {
                                  const std::string& platform) const;
   void put(const SolveRecord& record);
 
+  // Every record the shard directory currently holds, keyed
+  // "matrix|solver|platform" (duplicate rows already resolved
+  // last-row-wins) — the aggregation view bench_aggregate publishes after a
+  // parallel sweep.
+  [[nodiscard]] const std::map<std::string, SolveRecord>& records() const {
+    return records_;
+  }
+
  private:
   std::string dir_;
   std::map<std::string, SolveRecord> records_;

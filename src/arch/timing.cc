@@ -6,9 +6,10 @@
 
 namespace refloat::arch {
 
-SpmvTiming spmv_time(const AcceleratorConfig& config,
-                     std::size_t nonzero_blocks) {
+SpmvTiming spmm_time(const AcceleratorConfig& config,
+                     std::size_t nonzero_blocks, long batch_k) {
   SpmvTiming timing;
+  timing.batch_k = std::max(batch_k, 1L);
   const DeploymentCost cost = deployment_cost(config, nonzero_blocks);
   timing.rounds = cost.rounds;
   timing.compute_seconds =
@@ -16,49 +17,71 @@ SpmvTiming spmv_time(const AcceleratorConfig& config,
       config.op_latency_ns * 1e-9;
   timing.write_seconds = static_cast<double>(1L << config.crossbar_bits) *
                          config.row_write_ns * 1e-9;
+  // Per round, the programmed image serves the whole batch before the next
+  // reprogram: k compute passes against one write.
+  const double round_compute =
+      static_cast<double>(timing.batch_k) * timing.compute_seconds;
   if (cost.resident) {
     // Matrix stays programmed across iterations; a pass is pure compute.
-    timing.seconds = timing.compute_seconds;
+    timing.seconds = round_compute;
   } else if (config.overlap_write_compute) {
-    // Write round 1, then compute round k while writing round k+1.
-    timing.seconds =
-        timing.write_seconds +
-        static_cast<double>(cost.rounds - 1) *
-            std::max(timing.compute_seconds, timing.write_seconds) +
-        timing.compute_seconds;
+    // Write round 1, then compute round r's batch while writing round r+1.
+    timing.seconds = timing.write_seconds +
+                     static_cast<double>(cost.rounds - 1) *
+                         std::max(round_compute, timing.write_seconds) +
+                     round_compute;
   } else {
     timing.seconds = static_cast<double>(cost.rounds) *
-                     (timing.write_seconds + timing.compute_seconds);
+                     (timing.write_seconds + round_compute);
   }
+  timing.per_rhs_seconds =
+      timing.seconds / static_cast<double>(timing.batch_k);
   return timing;
+}
+
+SpmvTiming spmv_time(const AcceleratorConfig& config,
+                     std::size_t nonzero_blocks) {
+  return spmm_time(config, nonzero_blocks, 1);
 }
 
 SolverProfile cg_profile() { return SolverProfile{1, 5, 6}; }
 
 SolverProfile bicgstab_profile() { return SolverProfile{2, 10, 12}; }
 
-SolveTime accelerator_solve_time(const AcceleratorConfig& config,
-                                 std::size_t nonzero_blocks, long long n,
-                                 long iterations,
-                                 const SolverProfile& profile) {
+SolveTime accelerator_batched_solve_time(const AcceleratorConfig& config,
+                                         std::size_t nonzero_blocks,
+                                         long long n, long iterations,
+                                         const SolverProfile& profile,
+                                         long batch_k) {
   SolveTime time;
-  const SpmvTiming spmv = spmv_time(config, nonzero_blocks);
+  time.batch_k = std::max(batch_k, 1L);
+  const SpmvTiming spmm = spmm_time(config, nonzero_blocks, time.batch_k);
   const double lanes = static_cast<double>(std::max(config.vector_lanes, 1L));
   const double vector_op_seconds =
       static_cast<double>(n) / lanes * config.vector_ns_per_element * 1e-9;
 
   time.spmv_seconds = static_cast<double>(iterations) *
                       static_cast<double>(profile.spmvs_per_iteration) *
-                      spmv.seconds;
-  time.vector_seconds = static_cast<double>(iterations) *
-                        static_cast<double>(profile.vector_ops_per_iteration) *
-                        vector_op_seconds;
+                      spmm.seconds;
+  time.vector_seconds =
+      static_cast<double>(profile.vector_ops(iterations, time.batch_k)) *
+      vector_op_seconds;
   // A resident matrix pays its programming once up front; a non-resident one
-  // already pays per round inside spmv_time.
-  time.program_seconds = spmv.rounds <= 1 ? spmv.write_seconds : 0.0;
+  // already pays per round inside spmm_time.
+  time.program_seconds = spmm.rounds <= 1 ? spmm.write_seconds : 0.0;
   time.total_seconds =
       time.spmv_seconds + time.vector_seconds + time.program_seconds;
+  time.per_rhs_seconds =
+      time.total_seconds / static_cast<double>(time.batch_k);
   return time;
+}
+
+SolveTime accelerator_solve_time(const AcceleratorConfig& config,
+                                 std::size_t nonzero_blocks, long long n,
+                                 long iterations,
+                                 const SolverProfile& profile) {
+  return accelerator_batched_solve_time(config, nonzero_blocks, n, iterations,
+                                        profile, 1);
 }
 
 }  // namespace refloat::arch

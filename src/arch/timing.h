@@ -5,6 +5,11 @@
 //     round by round (2^b rows * row_write_ns), double-buffered against
 //     compute when overlap_write_compute is set.
 // A solver iteration adds the digital vector ops of its profile.
+//
+// Batching (solve AX = B): spmm_time prices a k-RHS batch streamed through
+// ONE programmed image per round — the reprogram cost is charged once per
+// batch, not once per right-hand side, so per-RHS time falls monotonically
+// with k (the amortization bench_batch tabulates).
 #pragma once
 
 #include <cstddef>
@@ -14,20 +19,36 @@
 namespace refloat::arch {
 
 struct SpmvTiming {
-  double seconds = 0.0;
+  double seconds = 0.0;  // whole pass: all rounds, all batch_k vectors
   long rounds = 1;
-  double compute_seconds = 0.0;  // per-round compute time
+  double compute_seconds = 0.0;  // per-round compute time, ONE vector
   double write_seconds = 0.0;    // per-round reprogram time
+  long batch_k = 1;              // right-hand sides sharing each round
+  double per_rhs_seconds = 0.0;  // seconds / batch_k
 };
 
 SpmvTiming spmv_time(const AcceleratorConfig& config,
                      std::size_t nonzero_blocks);
+
+// One pass of a k-RHS batch: every reprogram round writes its blocks once,
+// then streams all k vectors through the programmed image before moving to
+// the next round. spmm_time(config, blocks, 1) == spmv_time(config, blocks).
+SpmvTiming spmm_time(const AcceleratorConfig& config,
+                     std::size_t nonzero_blocks, long batch_k);
 
 // Operation counts of one solver iteration.
 struct SolverProfile {
   int spmvs_per_iteration = 1;
   int vector_ops_per_iteration = 5;  // dots + axpys, n elements each
   int kernels_per_iteration = 6;     // GPU launch count (gpu_model)
+
+  // In a k-RHS lockstep batch, SpMV passes merge into SpMM passes (one per
+  // apply point) while the digital vector ops stay per column — the two
+  // scaling behaviours accelerator_batched_solve_time prices.
+  [[nodiscard]] long long vector_ops(long iterations, long batch_k) const {
+    return static_cast<long long>(iterations) * vector_ops_per_iteration *
+           batch_k;
+  }
 };
 
 SolverProfile cg_profile();        // 1 SpMV, 2 dots + 3 axpys
@@ -38,6 +59,8 @@ struct SolveTime {
   double spmv_seconds = 0.0;
   double vector_seconds = 0.0;
   double program_seconds = 0.0;  // one-time initial programming
+  long batch_k = 1;              // right-hand sides the totals cover
+  double per_rhs_seconds = 0.0;  // total_seconds / batch_k
 };
 
 // Modeled accelerator time for `iterations` solver iterations on a matrix
@@ -46,5 +69,14 @@ SolveTime accelerator_solve_time(const AcceleratorConfig& config,
                                  std::size_t nonzero_blocks, long long n,
                                  long iterations,
                                  const SolverProfile& profile);
+
+// Modeled time for a lockstep batch of `batch_k` right-hand sides running
+// `iterations` iterations each: every solver apply point is one SpMM pass
+// (reprogram charged once per batch round), vector ops scale with batch_k.
+SolveTime accelerator_batched_solve_time(const AcceleratorConfig& config,
+                                         std::size_t nonzero_blocks,
+                                         long long n, long iterations,
+                                         const SolverProfile& profile,
+                                         long batch_k);
 
 }  // namespace refloat::arch

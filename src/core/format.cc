@@ -1,6 +1,8 @@
 #include "src/core/format.h"
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 namespace refloat::core {
 
@@ -78,6 +80,26 @@ double round_at(double v, int exponent, int f_bits) {
   return std::nearbyint(v / step) * step;
 }
 
+// Biased exponent field of the IEEE double: 0 = zero/denormal,
+// 0x7ff = inf/nan, otherwise true exponent + 1023.
+inline int exponent_field(double v) {
+  return static_cast<int>((std::bit_cast<std::uint64_t>(v) >> 52) & 0x7ff);
+}
+
+// 2^n built from the bit pattern — only valid for n in [-1022, 1023]
+// (normal range), which quantize_span guards up front.
+inline double pow2(int n) {
+  return std::bit_cast<double>(static_cast<std::uint64_t>(1023 + n) << 52);
+}
+
+// nearbyint for |x| < 2^51 in the default round-to-nearest-even mode: the
+// classic add-then-subtract of 2^52 forces the fraction out of the
+// significand, rounding ties to even exactly like the libm call.
+inline double round_even_small(double x) {
+  constexpr double kMagic = 0x1.0p52;
+  return x >= 0.0 ? (x + kMagic) - kMagic : (x - kMagic) + kMagic;
+}
+
 }  // namespace
 
 int window_floor(int base, int e_bits, WindowMode mode) {
@@ -90,13 +112,31 @@ int window_floor(int base, int e_bits, WindowMode mode) {
 int select_block_base(std::span<const double> values, int e_bits,
                       const QuantPolicy& policy) {
   (void)e_bits;
+  if (policy.base == BaseMode::kMaxAnchor) {
+    // Hot path (runs once per vector segment per SpMV): the max exponent is
+    // the max of the raw exponent fields — zeros and denormals read field 0
+    // and cannot win against any normal value, inf/nan are skipped like the
+    // exact loop below skips them. Only an all-zero/denormal segment needs
+    // the exact ilogb treatment.
+    int max_field = 0;
+    for (const double v : values) {
+      const int field = exponent_field(v);
+      if (field == 0x7ff) continue;
+      if (field > max_field) max_field = field;
+    }
+    if (max_field > 0) return max_field - 1023;
+  }
   bool any = false;
   int max_e = 0;
   long long sum_e = 0;
   std::size_t count = 0;
   for (const double v : values) {
-    if (v == 0.0 || !std::isfinite(v)) continue;
-    const int e = std::ilogb(v);
+    if (v == 0.0) continue;
+    // ilogb via the exponent field (this runs once per element per SpMV);
+    // 0x7ff is inf/nan (skipped, as before), 0 is denormal (libm fallback).
+    const int field = exponent_field(v);
+    if (field == 0x7ff) continue;
+    const int e = field == 0 ? std::ilogb(v) : field - 1023;
     if (!any || e > max_e) max_e = e;
     sum_e += e;
     ++count;
@@ -167,6 +207,57 @@ double quantize_value(double v, int base, int e_bits, int f_bits,
     return saturated(sign, hi, f_bits);
   }
   return q;
+}
+
+void quantize_span(std::span<const double> x, int base, int e_bits,
+                   int f_bits, const QuantPolicy& policy,
+                   std::span<double> out) {
+  int lo = 0;
+  int hi = 0;
+  window_bounds(base, e_bits, policy.window, &lo, &hi);
+  const bool gradual = policy.underflow == UnderflowMode::kDenormalize;
+  // The fast path needs every 2^(grid +- f) in the normal range and the
+  // scaled mantissa below 2^52 (where the magic-constant rounding is
+  // exact). Outside that — extreme bases, f = 52 formats — take the exact
+  // scalar path for the whole span.
+  if (lo - f_bits < -1022 || hi - f_bits > 1022 || f_bits > 51) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      out[i] = quantize_value(x[i], base, e_bits, f_bits, policy, nullptr);
+    }
+    return;
+  }
+  const double ceiling = std::ldexp(2.0, hi);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double v = x[i];
+    if (v == 0.0) {  // preserves signed zero, like quantize_value
+      out[i] = v;
+      continue;
+    }
+    const int field = exponent_field(v);
+    const int exponent = field - 1023;
+    // Denormals, inf/nan, overflow, and non-gradual underflow delegate to
+    // the exact scalar semantics (all rare in solver vectors).
+    if (field == 0 || field == 0x7ff || exponent > hi ||
+        (exponent < lo && !gradual)) {
+      out[i] = quantize_value(v, base, e_bits, f_bits, policy, nullptr);
+      continue;
+    }
+    // In-window values round on their own binade's f-bit grid; gradual
+    // underflow rounds on the window floor's grid — one shared expression.
+    const int grid = exponent < lo ? lo : exponent;
+    double q =
+        round_even_small(v * pow2(f_bits - grid)) * pow2(grid - f_bits);
+    // The magic-constant rounding returns +0.0 where nearbyint returns
+    // -0.0; restore the signed zero quantize_value produces.
+    if (q == 0.0) q = std::copysign(0.0, v);
+    if (std::abs(q) >= ceiling) {
+      // Mantissa carried past the window ceiling: saturate via the scalar
+      // path so the result stays bit-identical to quantize_value.
+      out[i] = quantize_value(v, base, e_bits, f_bits, policy, nullptr);
+      continue;
+    }
+    out[i] = q;
+  }
 }
 
 double quantize_scalar(double v, int e_bits, int f_bits, QuantTally* tally) {

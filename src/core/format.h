@@ -123,6 +123,16 @@ int window_floor(int base, int e_bits, WindowMode mode);
 double quantize_value(double v, int base, int e_bits, int f_bits,
                       const QuantPolicy& policy, QuantTally* tally);
 
+// Span form of quantize_value against one fixed base, bit-exact to calling
+// quantize_value per element (no tally). This is the SpMV-path hot loop:
+// the common cases (normal values, in-window or gradual underflow) run
+// branch-light on extracted exponent fields and round-to-nearest-even via
+// the 2^52 magic constant instead of per-element ilogb/ldexp/nearbyint
+// libm calls; everything else falls back to quantize_value element-wise.
+void quantize_span(std::span<const double> x, int base, int e_bits,
+                   int f_bits, const QuantPolicy& policy,
+                   std::span<double> out);
+
 // Scalar IEEE-style quantization for b = 0 formats: e-bit biased exponent
 // range, f-bit fraction, gradual underflow, saturation at the top.
 double quantize_scalar(double v, int e_bits, int f_bits, QuantTally* tally);

@@ -19,6 +19,77 @@ int bits_for_spread(int spread) {
   return bits;
 }
 
+// One block-row's worth of plan-SpMV. Raw __restrict__ pointers encode the
+// caller contract the spans cannot: the output never aliases the arena or
+// the quantized input, so the compiler may keep arena reads in registers
+// across y writes instead of reloading them every iteration.
+void spmv_block_row(const SpmvPlan& plan, std::size_t br,
+                    const double* __restrict__ x, double* __restrict__ y) {
+  const std::int16_t* __restrict__ erow = plan.entry_row.data();
+  const std::int16_t* __restrict__ ecol = plan.entry_col.data();
+  const double* __restrict__ eval = plan.entry_value.data();
+  for (std::size_t j = plan.block_ptr[br]; j < plan.block_ptr[br + 1]; ++j) {
+    const std::size_t r0 = static_cast<std::size_t>(plan.row0[j]);
+    const std::size_t c0 = static_cast<std::size_t>(plan.col0[j]);
+    const std::size_t end = plan.entry_ptr[j + 1];
+    for (std::size_t e = plan.entry_ptr[j]; e < end; ++e) {
+      y[r0 + static_cast<std::size_t>(erow[e])] +=
+          eval[e] * x[c0 + static_cast<std::size_t>(ecol[e])];
+    }
+  }
+}
+
+// Batched block-row sweep with a compile-time batch width: the fixed K lets
+// the compiler fully unroll and vectorize the per-entry column loop, which
+// is where the SpMM throughput win over K sequential SpMVs comes from.
+// Operands are row-major interleaved (slot i*K + column).
+template <std::size_t K>
+void spmm_block_row_fixed(const SpmvPlan& plan, std::size_t br,
+                          const double* __restrict__ x,
+                          double* __restrict__ y) {
+  const std::int16_t* __restrict__ erow = plan.entry_row.data();
+  const std::int16_t* __restrict__ ecol = plan.entry_col.data();
+  const double* __restrict__ eval = plan.entry_value.data();
+  for (std::size_t j = plan.block_ptr[br]; j < plan.block_ptr[br + 1]; ++j) {
+    const std::size_t r0 = static_cast<std::size_t>(plan.row0[j]);
+    const std::size_t c0 = static_cast<std::size_t>(plan.col0[j]);
+    const std::size_t end = plan.entry_ptr[j + 1];
+    for (std::size_t e = plan.entry_ptr[j]; e < end; ++e) {
+      const double v = eval[e];
+      const double* __restrict__ xs =
+          x + (c0 + static_cast<std::size_t>(ecol[e])) * K;
+      double* __restrict__ ys =
+          y + (r0 + static_cast<std::size_t>(erow[e])) * K;
+      for (std::size_t col = 0; col < K; ++col) ys[col] += v * xs[col];
+    }
+  }
+}
+
+void spmm_block_row(const SpmvPlan& plan, std::size_t br, std::size_t k,
+                    const double* __restrict__ x, double* __restrict__ y) {
+  switch (k) {
+    case 2: return spmm_block_row_fixed<2>(plan, br, x, y);
+    case 4: return spmm_block_row_fixed<4>(plan, br, x, y);
+    case 8: return spmm_block_row_fixed<8>(plan, br, x, y);
+    case 16: return spmm_block_row_fixed<16>(plan, br, x, y);
+    default: break;
+  }
+  const std::int16_t* __restrict__ erow = plan.entry_row.data();
+  const std::int16_t* __restrict__ ecol = plan.entry_col.data();
+  const double* __restrict__ eval = plan.entry_value.data();
+  for (std::size_t j = plan.block_ptr[br]; j < plan.block_ptr[br + 1]; ++j) {
+    const std::size_t r0 = static_cast<std::size_t>(plan.row0[j]);
+    const std::size_t c0 = static_cast<std::size_t>(plan.col0[j]);
+    const std::size_t end = plan.entry_ptr[j + 1];
+    for (std::size_t e = plan.entry_ptr[j]; e < end; ++e) {
+      const double v = eval[e];
+      const double* xs = x + (c0 + static_cast<std::size_t>(ecol[e])) * k;
+      double* ys = y + (r0 + static_cast<std::size_t>(erow[e])) * k;
+      for (std::size_t col = 0; col < k; ++col) ys[col] += v * xs[col];
+    }
+  }
+}
+
 }  // namespace
 
 RefloatMatrix::RefloatMatrix(const sparse::Csr& a, const Format& format,
@@ -56,7 +127,8 @@ RefloatMatrix::RefloatMatrix(const sparse::Csr& a, const Format& format,
     }
   } else {
     // Bucket nonzeros into 2^b x 2^b blocks (ordered map keeps blocks in
-    // (brow, bcol) order, which the hw path and schedule sim rely on).
+    // (brow, bcol) order, which the plan's ordering contract and the
+    // schedule sim rely on).
     struct Raw {
       std::int32_t r, c;
       double v;
@@ -75,7 +147,7 @@ RefloatMatrix::RefloatMatrix(const sparse::Csr& a, const Format& format,
       }
     }
 
-    blocks_.reserve(buckets.size());
+    SpmvPlanBuilder builder;
     std::vector<double> block_values;
     for (auto& [key, raws] : buckets) {
       block_values.clear();
@@ -99,31 +171,23 @@ RefloatMatrix::RefloatMatrix(const sparse::Csr& a, const Format& format,
             stats_.locality_bits, bits_for_spread(max_e - min_e + 1));
       }
 
-      BlockData block;
-      block.row0 = key.first << b;
-      block.col0 = key.second << b;
-      block.base = select_block_base(block_values, format_.e, policy_);
-      block.entries.reserve(raws.size());
+      const sparse::Index row0 = key.first << b;
+      const sparse::Index col0 = key.second << b;
+      const int base = select_block_base(block_values, format_.e, policy_);
+      builder.begin_block(row0, col0, base);
       for (const Raw& raw : raws) {
-        const double q = quantize_value(raw.v, block.base, format_.e,
-                                        format_.f, policy_, &tally);
+        const double q = quantize_value(raw.v, base, format_.e, format_.f,
+                                        policy_, &tally);
         err_sq += (raw.v - q) * (raw.v - q);
         ref_sq += raw.v * raw.v;
         if (q != 0.0) {
-          block.entries.push_back({raw.r, raw.c, q});
-          quantized_triplets.push_back(
-              {block.row0 + raw.r, block.col0 + raw.c, q});
+          builder.push_entry(raw.r, raw.c, q);
+          quantized_triplets.push_back({row0 + raw.r, col0 + raw.c, q});
         }
       }
-      blocks_.push_back(std::move(block));
     }
+    plan_ = builder.finish(rows_, cols_, b);
   }
-
-  block_row_begin_.push_back(0);
-  for (std::size_t i = 1; i < blocks_.size(); ++i) {
-    if (blocks_[i].row0 != blocks_[i - 1].row0) block_row_begin_.push_back(i);
-  }
-  block_row_begin_.push_back(blocks_.size());
 
   stats_.values = tally.values;
   stats_.overflowed = tally.overflowed;
@@ -144,7 +208,7 @@ long long RefloatMatrix::storage_bits() const {
   const sparse::Index grid = std::max<sparse::Index>(
       (rows_ + side - 1) / side, (cols_ + side - 1) / side);
   return nnz * storage_bits_per_value(format_) +
-         static_cast<long long>(blocks_.size()) *
+         static_cast<long long>(plan_.num_blocks()) *
              storage_bits_per_block(format_, grid);
 }
 
@@ -176,10 +240,8 @@ void RefloatMatrix::quantize_vector(std::span<const double> x,
     const std::size_t end = std::min(begin + side, x.size());
     const std::span<const double> segment = x.subspan(begin, end - begin);
     const int base = select_block_base(segment, format_.ev, policy_);
-    for (std::size_t i = begin; i < end; ++i) {
-      out[i] = quantize_value(x[i], base, format_.ev, format_.fv, policy_,
-                              &tally);
-    }
+    quantize_span(segment, base, format_.ev, format_.fv, policy_,
+                  out.subspan(begin, end - begin));
   }
 }
 
@@ -195,19 +257,49 @@ void RefloatMatrix::spmv_refloat(std::span<const double> x,
   }
   // Block-rows write disjoint y ranges and keep the serial (brow, bcol)
   // accumulation order within each range — bit-identical at any thread
-  // count.
+  // count. The walk is one linear sweep of the plan arena per shard.
   util::ThreadPool::global().parallel_for(
-      block_row_begin_.size() - 1, [&](std::size_t br) {
-        for (std::size_t i = block_row_begin_[br];
-             i < block_row_begin_[br + 1]; ++i) {
-          const BlockData& block = blocks_[i];
-          for (const Entry& entry : block.entries) {
-            y[static_cast<std::size_t>(block.row0 + entry.r)] +=
-                entry.value *
-                scratch[static_cast<std::size_t>(block.col0 + entry.c)];
-          }
-        }
+      plan_.block_rows(), [&](std::size_t br) {
+        spmv_block_row(plan_, br, scratch.data(), y.data());
       });
+}
+
+void RefloatMatrix::spmv_refloat_multi(std::span<const double> x,
+                                       std::size_t k, std::span<double> y,
+                                       MultiSpmvScratch& scratch) const {
+  if (k == 0) return;
+  const std::size_t n_cols = static_cast<std::size_t>(cols_);
+  const std::size_t n_rows = static_cast<std::size_t>(rows_);
+  if (format_.b == 0) {
+    // Scalar formats have no block image to amortize: apply per column.
+    scratch.columns.resize(n_cols);
+    for (std::size_t j = 0; j < k; ++j) {
+      quantize_vector(x.subspan(j * n_cols, n_cols), scratch.columns);
+      quantized_.spmv(scratch.columns, y.subspan(j * n_rows, n_rows));
+    }
+    return;
+  }
+  // Quantize per column (identical to the single-RHS path), then transpose
+  // the batch to a row-major n x k image so one block entry touches k
+  // adjacent operand/result slots.
+  scratch.columns.resize(n_cols * k);
+  scratch.x_interleaved.resize(n_cols * k);
+  for (std::size_t j = 0; j < k; ++j) {
+    quantize_vector(x.subspan(j * n_cols, n_cols),
+                    std::span<double>(scratch.columns)
+                        .subspan(j * n_cols, n_cols));
+  }
+  sparse::interleave(scratch.columns, n_cols, k, scratch.x_interleaved);
+  scratch.y_interleaved.assign(n_rows * k, 0.0);
+  // Each block is visited once and applied to all k columns; per column the
+  // accumulation order is exactly the single-RHS serial order, so every
+  // column is bit-identical to spmv_refloat on that column alone.
+  util::ThreadPool::global().parallel_for(
+      plan_.block_rows(), [&](std::size_t br) {
+        spmm_block_row(plan_, br, k, scratch.x_interleaved.data(),
+                       scratch.y_interleaved.data());
+      });
+  sparse::deinterleave(scratch.y_interleaved, n_rows, k, y);
 }
 
 void RefloatMatrix::spmv_refloat_noisy(std::span<const double> x,
@@ -224,9 +316,9 @@ void RefloatMatrix::spmv_refloat_noisy(std::span<const double> x,
     for (auto& v : y) v *= 1.0 + sigma * rng.gaussian();
     return;
   }
-  const std::size_t side = std::size_t{1} << format_.b;
+  const std::size_t side = plan_.side();
   util::ThreadPool::global().parallel_for(
-      block_row_begin_.size() - 1, [&](std::size_t br) {
+      plan_.block_rows(), [&](std::size_t br) {
         // One counter-based noise stream per (sequence, block-row): the draw
         // order within a block-row is the serial block order, so the result
         // does not depend on which thread runs the shard. The partial buffer
@@ -234,19 +326,20 @@ void RefloatMatrix::spmv_refloat_noisy(std::span<const double> x,
         util::Rng rng(util::stream_seed(seed, sequence, br));
         thread_local std::vector<double> partial;
         partial.resize(side);
-        for (std::size_t i = block_row_begin_[br];
-             i < block_row_begin_[br + 1]; ++i) {
-          const BlockData& block = blocks_[i];
+        for (std::size_t j = plan_.block_ptr[br]; j < plan_.block_ptr[br + 1];
+             ++j) {
+          const std::size_t r0 = static_cast<std::size_t>(plan_.row0[j]);
+          const std::size_t c0 = static_cast<std::size_t>(plan_.col0[j]);
           std::fill(partial.begin(), partial.end(), 0.0);
-          for (const Entry& entry : block.entries) {
-            partial[static_cast<std::size_t>(entry.r)] +=
-                entry.value *
-                scratch[static_cast<std::size_t>(block.col0 + entry.c)];
+          for (std::size_t e = plan_.entry_ptr[j]; e < plan_.entry_ptr[j + 1];
+               ++e) {
+            partial[static_cast<std::size_t>(plan_.entry_row[e])] +=
+                plan_.entry_value[e] *
+                scratch[c0 + static_cast<std::size_t>(plan_.entry_col[e])];
           }
           for (std::size_t r = 0; r < side; ++r) {
             if (partial[r] == 0.0) continue;
-            y[static_cast<std::size_t>(block.row0) + r] +=
-                partial[r] * (1.0 + sigma * rng.gaussian());
+            y[r0 + r] += partial[r] * (1.0 + sigma * rng.gaussian());
           }
         }
       });

@@ -2,8 +2,8 @@
 // per-block shared base exponent, e-bit per-value exponent offsets, f-bit
 // fractions (paper §IV). The conversion keeps both views:
 //   * the dequantized CSR (`quantized()`), for fast value-faithful SpMV, and
-//   * the per-block payload (`block_data()`), for the bit-true hw/ datapath
-//     and the storage model.
+//   * the contiguous SpmvPlan (`plan()`), the SoA block payload consumed by
+//     every blocked SpMV path and by the bit-true hw/ datapath.
 //
 // The SpMV paths shard by block-row over util::ThreadPool::global()
 // ($REFLOAT_THREADS). Block-rows own disjoint output rows and each
@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/core/format.h"
+#include "src/core/spmv_plan.h"
 #include "src/sparse/csr.h"
 #include "src/util/random.h"
 
@@ -44,20 +45,17 @@ struct ConversionStats {
   }
 };
 
+// Reusable buffers for spmv_refloat_multi: the quantized column-major
+// batch and the row-major interleaved (n x k) operand/result images. One
+// instance per caller thread, like the single-RHS scratch.
+struct MultiSpmvScratch {
+  std::vector<double> columns;
+  std::vector<double> x_interleaved;
+  std::vector<double> y_interleaved;
+};
+
 class RefloatMatrix {
  public:
-  struct Entry {
-    std::int32_t r = 0;  // row within the block
-    std::int32_t c = 0;  // col within the block
-    double value = 0.0;  // dequantized value
-  };
-  struct BlockData {
-    sparse::Index row0 = 0;  // global row of the block's first row
-    sparse::Index col0 = 0;
-    int base = 0;            // shared base exponent
-    std::vector<Entry> entries;
-  };
-
   RefloatMatrix(const sparse::Csr& a, const Format& format,
                 const QuantPolicy& policy = {});
 
@@ -66,16 +64,14 @@ class RefloatMatrix {
   [[nodiscard]] const ConversionStats& stats() const { return stats_; }
   // Dequantized matrix (exact-value view of the quantized operator).
   [[nodiscard]] const sparse::Csr& quantized() const { return quantized_; }
-  [[nodiscard]] std::size_t nonzero_blocks() const { return blocks_.size(); }
-  [[nodiscard]] const std::vector<BlockData>& block_data() const {
-    return blocks_;
+  [[nodiscard]] std::size_t nonzero_blocks() const {
+    return plan_.num_blocks();
   }
-  // blocks_[block_row_begin()[i] .. block_row_begin()[i+1]) is block-row i —
-  // the sharding unit of the threaded SpMV paths (block-rows write disjoint
-  // output rows). Size is block-row count + 1.
-  [[nodiscard]] const std::vector<std::size_t>& block_row_begin() const {
-    return block_row_begin_;
-  }
+  // The contiguous block payload: block-row CSR index + SoA entry arena,
+  // built once here and shared by every blocked consumer (the spmv paths
+  // below, hw::HwSpmv programming, the storage model). Empty when
+  // format().b == 0 (scalar formats have no blocks).
+  [[nodiscard]] const SpmvPlan& plan() const { return plan_; }
 
   // Runs `steps` Lanczos iterations on quantized() (square matrices only)
   // and caches the extreme Ritz values into stats() — a cheap definiteness
@@ -109,12 +105,23 @@ class RefloatMatrix {
   void spmv_refloat(std::span<const double> x, std::span<double> y,
                     std::vector<double>& scratch) const;
 
-  // Same, with multiplicative Gaussian noise of deviation `sigma` applied to
-  // every per-block row partial — the RTN conductance-noise model of Fig. 10.
-  // Noise comes from counter-based streams seeded per (seed, sequence,
-  // block-row), so the result is reproducible at any thread count; pass a
-  // distinct `sequence` per application (e.g. the solver iteration) to get
-  // fresh noise each call.
+  // Batched SpMM: Y = quantize(A) * quantize(X) for k right-hand sides.
+  // x is k column-major vectors of cols() entries each (x.size() == k *
+  // cols()), y likewise k vectors of rows() entries. Visits every block of
+  // the plan ONCE per batch — the software mirror of streaming k vectors
+  // through one programmed crossbar image — and each column's result is
+  // bit-identical to a spmv_refloat call on that column alone, at any
+  // thread count.
+  void spmv_refloat_multi(std::span<const double> x, std::size_t k,
+                          std::span<double> y,
+                          MultiSpmvScratch& scratch) const;
+
+  // Same as spmv_refloat, with multiplicative Gaussian noise of deviation
+  // `sigma` applied to every per-block row partial — the RTN
+  // conductance-noise model of Fig. 10. Noise comes from counter-based
+  // streams seeded per (seed, sequence, block-row), so the result is
+  // reproducible at any thread count; pass a distinct `sequence` per
+  // application (e.g. the solver iteration) to get fresh noise each call.
   void spmv_refloat_noisy(std::span<const double> x, std::span<double> y,
                           std::vector<double>& scratch, double sigma,
                           std::uint64_t seed, std::uint64_t sequence) const;
@@ -124,10 +131,7 @@ class RefloatMatrix {
   QuantPolicy policy_;
   mutable ConversionStats stats_;  // probe fields filled lazily
   sparse::Csr quantized_;
-  std::vector<BlockData> blocks_;  // empty when format_.b == 0
-  // Block-row boundaries into blocks_ (ascending row0 runs;
-  // size = block-row count + 1).
-  std::vector<std::size_t> block_row_begin_;
+  SpmvPlan plan_;  // empty (no blocks) when format_.b == 0
   sparse::Index original_nnz_ = 0;
   sparse::Index rows_ = 0;
   sparse::Index cols_ = 0;

@@ -11,32 +11,36 @@ HwSpmv::HwSpmv(const core::RefloatMatrix& rf, ClusterConfig config)
       cols_(rf.quantized().cols()),
       side_(1 << rf.format().b),
       noisy_(config.noise.sigma > 0.0) {
-  engines_.reserve(rf.nonzero_blocks());
+  // Program one engine per plan block, densifying straight from the SoA
+  // arena (the plan is the single source of block truth).
+  const core::SpmvPlan& plan = rf.plan();
+  engines_.reserve(plan.num_blocks());
   std::vector<std::vector<double>> dense(
       static_cast<std::size_t>(side_),
       std::vector<double>(static_cast<std::size_t>(side_), 0.0));
-  for (const auto& block : rf.block_data()) {
+  for (std::size_t j = 0; j < plan.num_blocks(); ++j) {
     for (auto& row : dense) std::fill(row.begin(), row.end(), 0.0);
-    for (const auto& entry : block.entries) {
-      dense[static_cast<std::size_t>(entry.r)]
-           [static_cast<std::size_t>(entry.c)] = entry.value;
+    for (std::size_t e = plan.entry_ptr[j]; e < plan.entry_ptr[j + 1]; ++e) {
+      dense[static_cast<std::size_t>(plan.entry_row[e])]
+           [static_cast<std::size_t>(plan.entry_col[e])] =
+               plan.entry_value[e];
     }
     engines_.push_back(
-        {block.row0, block.col0,
-         ProcessingEngine(dense, block.base, rf.format(), config,
+        {plan.row0[j], plan.col0[j],
+         ProcessingEngine(dense, plan.base[j], rf.format(), config,
                           rf.policy())});
   }
-  row_begin_.push_back(0);
-  for (std::size_t i = 1; i < engines_.size(); ++i) {
-    if (engines_[i].row0 != engines_[i - 1].row0) row_begin_.push_back(i);
-  }
-  row_begin_.push_back(engines_.size());
+  // The plan's full-grid block-row index is also the threading shard index:
+  // engines are 1:1 with plan blocks, so the offsets carry over (empty
+  // block-rows become no-op shards).
+  row_begin_ = plan.block_ptr;
 }
 
 void HwSpmv::apply(std::span<const double> x, std::span<double> y,
                    util::Rng& rng) {
   std::fill(y.begin(), y.end(), 0.0);
-  const std::size_t n_block_rows = row_begin_.size() - 1;
+  const std::size_t n_block_rows =
+      row_begin_.empty() ? 0 : row_begin_.size() - 1;
   // One caller draw seeds all per-block-row noise streams; the engines only
   // consume randomness when noise is configured.
   const std::uint64_t noise_base = noisy_ ? rng.next() : 0;

@@ -1,6 +1,7 @@
 // Whole-matrix SpMV over the bit-true datapath: one ProcessingEngine per
-// nonzero ReFloat block, partial outputs accumulated digitally — the
-// hardware-exact counterpart of RefloatMatrix::spmv_refloat.
+// nonzero ReFloat block (programmed straight from the SpmvPlan arena),
+// partial outputs accumulated digitally — the hardware-exact counterpart of
+// RefloatMatrix::spmv_refloat.
 //
 // apply() shards by block-row over util::ThreadPool::global()
 // ($REFLOAT_THREADS): block-rows own disjoint output rows, every shard
@@ -43,8 +44,9 @@ class HwSpmv {
   int side_ = 0;
   bool noisy_ = false;
   std::vector<BlockEngine> engines_;
-  // engines_[row_begin_[i] .. row_begin_[i+1]) share row0 — the threading
-  // shard (size = block-row count + 1).
+  // engines_[row_begin_[i] .. row_begin_[i+1]) is grid block-row i — the
+  // threading shard, copied from the plan's block_ptr (size = grid
+  // block-row count + 1; empty block-rows are empty ranges).
   std::vector<std::size_t> row_begin_;
   EngineStats stats_;
 };

@@ -1,0 +1,339 @@
+#include "src/solvers/batched.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/solvers/monitor.h"
+#include "src/sparse/vector_ops.h"
+#include "src/util/random.h"
+
+namespace refloat::solve {
+
+void SequentialMultiOperator::apply_multi(std::span<const double> x,
+                                          std::size_t k,
+                                          std::span<double> y) {
+  const std::size_t n = static_cast<std::size_t>(op_.dim());
+  for (std::size_t j = 0; j < k; ++j) {
+    op_.apply(x.subspan(j * n, n), y.subspan(j * n, n));
+  }
+}
+
+namespace {
+
+// Per-column bookkeeping shared by both lockstep drivers. The column's
+// numeric state lives in the big column-major arrays; this tracks its
+// scalars and lifecycle.
+struct ColumnState {
+  detail::Monitor monitor;
+  SolveResult result;
+  double rnorm = 0.0;
+  bool done = false;
+
+  explicit ColumnState(const SolveOptions& options) : monitor(options) {}
+};
+
+std::span<double> column(std::vector<double>& v, std::size_t c,
+                         std::size_t n) {
+  return {v.data() + c * n, n};
+}
+
+std::span<const double> column(const std::vector<double>& v, std::size_t c,
+                               std::size_t n) {
+  return {v.data() + c * n, n};
+}
+
+void finalize(ColumnState& col, SolveStatus status, long k) {
+  col.result.status = status;
+  col.result.iterations = detail::reported_iterations(status, k);
+  col.result.final_residual = col.rnorm;
+  col.done = true;
+}
+
+void drop_done(std::vector<std::size_t>& active,
+               const std::vector<ColumnState>& cols) {
+  active.erase(std::remove_if(active.begin(), active.end(),
+                              [&](std::size_t c) { return cols[c].done; }),
+               active.end());
+}
+
+// Packs the active columns' vectors into a dense batch, applies, and
+// scatters the results back into each column's destination array. The
+// copies move bits, not arithmetic, so column results match single applies.
+void batched_apply(MultiOperator& op, const std::vector<std::size_t>& active,
+                   const std::vector<double>& src, std::vector<double>& dst,
+                   std::size_t n, std::vector<double>& in_buf,
+                   std::vector<double>& out_buf, BatchedSolveResult& tally) {
+  const std::size_t ka = active.size();
+  if (ka == 0) return;
+  // While every column is still live (`active` is sorted and unique, so
+  // full size means the identity set) the column-major arrays already ARE
+  // the batch — skip the 2*k*n pack/scatter copies of the common case.
+  if (ka * n == src.size()) {
+    op.apply_multi(src, ka, dst);
+    tally.batched_applies += 1;
+    tally.column_applies += static_cast<long>(ka);
+    return;
+  }
+  in_buf.resize(ka * n);
+  out_buf.resize(ka * n);
+  for (std::size_t idx = 0; idx < ka; ++idx) {
+    const auto from = column(src, active[idx], n);
+    std::copy(from.begin(), from.end(), in_buf.begin() + idx * n);
+  }
+  op.apply_multi({in_buf.data(), ka * n}, ka, {out_buf.data(), ka * n});
+  for (std::size_t idx = 0; idx < ka; ++idx) {
+    const auto to = column(dst, active[idx], n);
+    std::copy(out_buf.begin() + idx * n, out_buf.begin() + (idx + 1) * n,
+              to.begin());
+  }
+  tally.batched_applies += 1;
+  tally.column_applies += static_cast<long>(ka);
+}
+
+}  // namespace
+
+BatchedSolveResult cg_multi(MultiOperator& op, std::span<const double> b,
+                            std::size_t k, const SolveOptions& options) {
+  const std::size_t n = static_cast<std::size_t>(op.dim());
+  BatchedSolveResult batch;
+  std::vector<ColumnState> cols;
+  cols.reserve(k);
+  std::vector<double> x(k * n, 0.0);
+  std::vector<double> r(b.begin(), b.begin() + static_cast<long>(k * n));
+  std::vector<double> p(r);
+  std::vector<double> ap(k * n, 0.0);
+  std::vector<double> rho(k, 0.0);
+  std::vector<std::size_t> active;
+  std::vector<double> in_buf;
+  std::vector<double> out_buf;
+
+  for (std::size_t c = 0; c < k; ++c) {
+    cols.emplace_back(options);
+    rho[c] = sparse::dot(column(r, c, n), column(r, c, n));
+    cols[c].rnorm = std::sqrt(rho[c]);
+    if (options.record_trace) cols[c].result.trace.push_back(cols[c].rnorm);
+    active.push_back(c);
+  }
+
+  long it = 0;
+  while (!active.empty()) {
+    for (const std::size_t c : active) {
+      if (const auto status = cols[c].monitor.check(it, cols[c].rnorm)) {
+        finalize(cols[c], *status, it);
+      }
+    }
+    drop_done(active, cols);
+    if (active.empty()) break;
+    ++it;
+
+    // ONE SpMM for every column still iterating (the batched hot path).
+    batched_apply(op, active, p, ap, n, in_buf, out_buf, batch);
+
+    for (const std::size_t c : active) {
+      const auto pc = column(p, c, n);
+      const auto apc = column(ap, c, n);
+      const double p_ap = sparse::dot(pc, apc);
+      if (!std::isfinite(p_ap) || p_ap == 0.0) {
+        finalize(cols[c], SolveStatus::kBreakdown, it);
+        continue;
+      }
+      const double alpha = rho[c] / p_ap;
+      sparse::axpy(alpha, pc, column(x, c, n));
+      sparse::axpy(-alpha, apc, column(r, c, n));
+      const double rho_next =
+          sparse::dot(column(r, c, n), column(r, c, n));
+      cols[c].rnorm = std::sqrt(rho_next);
+      if (options.record_trace) {
+        cols[c].result.trace.push_back(cols[c].rnorm);
+      }
+      sparse::xpby(column(r, c, n), rho_next / rho[c], pc);
+      rho[c] = rho_next;
+    }
+    drop_done(active, cols);
+  }
+
+  for (std::size_t c = 0; c < k; ++c) {
+    const auto xc = column(x, c, n);
+    cols[c].result.solution.assign(xc.begin(), xc.end());
+    batch.columns.push_back(std::move(cols[c].result));
+  }
+  return batch;
+}
+
+BatchedSolveResult bicgstab_multi(MultiOperator& op,
+                                  std::span<const double> b, std::size_t k,
+                                  const SolveOptions& options) {
+  const std::size_t n = static_cast<std::size_t>(op.dim());
+  BatchedSolveResult batch;
+  std::vector<ColumnState> cols;
+  cols.reserve(k);
+  std::vector<double> x(k * n, 0.0);
+  std::vector<double> r(b.begin(), b.begin() + static_cast<long>(k * n));
+  std::vector<double> p(k * n, 0.0);
+  std::vector<double> v(k * n, 0.0);
+  std::vector<double> s(k * n, 0.0);
+  std::vector<double> t(k * n, 0.0);
+  std::vector<double> r_shadow(r);
+  std::vector<double> rho(k, 1.0);
+  std::vector<double> alpha(k, 1.0);
+  std::vector<double> omega(k, 1.0);
+  std::vector<double> rho_next(k, 0.0);
+  std::vector<double> best_since_restart(k, 0.0);
+  std::vector<int> restarts(k, 0);
+  constexpr int kMaxRestarts = 40;
+  constexpr double kRestartGrowth = 100.0;
+  std::vector<std::size_t> active;
+  std::vector<std::size_t> subset;
+  std::vector<double> in_buf;
+  std::vector<double> out_buf;
+
+  for (std::size_t c = 0; c < k; ++c) {
+    cols.emplace_back(options);
+    cols[c].rnorm = sparse::norm2(column(r, c, n));
+    best_since_restart[c] = cols[c].rnorm;
+    if (options.record_trace) cols[c].result.trace.push_back(cols[c].rnorm);
+    active.push_back(c);
+  }
+
+  long it = 0;
+  while (!active.empty()) {
+    for (const std::size_t c : active) {
+      if (const auto status = cols[c].monitor.check(it, cols[c].rnorm)) {
+        finalize(cols[c], *status, it);
+      }
+    }
+    drop_done(active, cols);
+    if (active.empty()) break;
+    ++it;
+
+    // Restart rescue: recompute r = b - A x for the columns whose recursive
+    // residual detached. All restarting columns share one SpMM.
+    subset.clear();
+    for (const std::size_t c : active) {
+      if (cols[c].rnorm > kRestartGrowth * best_since_restart[c] &&
+          restarts[c] < kMaxRestarts) {
+        subset.push_back(c);
+      }
+    }
+    batched_apply(op, subset, x, t, n, in_buf, out_buf, batch);
+    for (const std::size_t c : subset) {
+      ++restarts[c];
+      sparse::sub(b.subspan(c * n, n), column(t, c, n), column(r, c, n));
+      const auto rc = column(r, c, n);
+      std::copy(rc.begin(), rc.end(), column(r_shadow, c, n).begin());
+      sparse::fill(column(p, c, n), 0.0);
+      sparse::fill(column(v, c, n), 0.0);
+      rho[c] = alpha[c] = omega[c] = 1.0;
+      cols[c].rnorm = sparse::norm2(rc);
+      best_since_restart[c] = cols[c].rnorm;
+    }
+
+    for (const std::size_t c : active) {
+      rho_next[c] = sparse::dot(column(r_shadow, c, n), column(r, c, n));
+      if (!std::isfinite(rho_next[c]) || rho_next[c] == 0.0) {
+        finalize(cols[c], SolveStatus::kBreakdown, it);
+        continue;
+      }
+      const double beta = (rho_next[c] / rho[c]) * (alpha[c] / omega[c]);
+      const auto rc = column(r, c, n);
+      const auto pc = column(p, c, n);
+      const auto vc = column(v, c, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        pc[i] = rc[i] + beta * (pc[i] - omega[c] * vc[i]);
+      }
+    }
+    drop_done(active, cols);
+
+    // First SpMM of the iteration proper: v = A p for all live columns.
+    batched_apply(op, active, p, v, n, in_buf, out_buf, batch);
+    for (const std::size_t c : active) {
+      const double rhat_v =
+          sparse::dot(column(r_shadow, c, n), column(v, c, n));
+      if (!std::isfinite(rhat_v) || rhat_v == 0.0) {
+        finalize(cols[c], SolveStatus::kBreakdown, it);
+        continue;
+      }
+      alpha[c] = rho_next[c] / rhat_v;
+      const auto rc = column(r, c, n);
+      const auto vc = column(v, c, n);
+      const auto sc = column(s, c, n);
+      for (std::size_t i = 0; i < n; ++i) sc[i] = rc[i] - alpha[c] * vc[i];
+      const double snorm = sparse::norm2(sc);
+      if (snorm <= options.tolerance) {
+        sparse::axpy(alpha[c], column(p, c, n), column(x, c, n));
+        cols[c].rnorm = snorm;
+        if (options.record_trace) {
+          cols[c].result.trace.push_back(cols[c].rnorm);
+        }
+        finalize(cols[c], SolveStatus::kConverged, it);
+      }
+    }
+    drop_done(active, cols);
+
+    // Second SpMM: t = A s for the columns that did not exit early.
+    batched_apply(op, active, s, t, n, in_buf, out_buf, batch);
+    for (const std::size_t c : active) {
+      const auto sc = column(s, c, n);
+      const auto tc = column(t, c, n);
+      const double t_t = sparse::dot(tc, tc);
+      if (!std::isfinite(t_t) || t_t == 0.0) {
+        finalize(cols[c], SolveStatus::kBreakdown, it);
+        continue;
+      }
+      omega[c] = sparse::dot(tc, sc) / t_t;
+      if (!std::isfinite(omega[c]) || omega[c] == 0.0) {
+        finalize(cols[c], SolveStatus::kBreakdown, it);
+        continue;
+      }
+      const auto xc = column(x, c, n);
+      const auto pc = column(p, c, n);
+      const auto rc = column(r, c, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        xc[i] += alpha[c] * pc[i] + omega[c] * sc[i];
+        rc[i] = sc[i] - omega[c] * tc[i];
+      }
+      rho[c] = rho_next[c];
+      cols[c].rnorm = sparse::norm2(rc);
+      if (cols[c].rnorm < best_since_restart[c]) {
+        best_since_restart[c] = cols[c].rnorm;
+      }
+      if (options.record_trace) {
+        cols[c].result.trace.push_back(cols[c].rnorm);
+      }
+    }
+    drop_done(active, cols);
+  }
+
+  for (std::size_t c = 0; c < k; ++c) {
+    const auto xc = column(x, c, n);
+    cols[c].result.solution.assign(xc.begin(), xc.end());
+    batch.columns.push_back(std::move(cols[c].result));
+  }
+  return batch;
+}
+
+std::vector<double> make_rhs_batch(const sparse::Csr& a, std::size_t k,
+                                   double norm) {
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  std::vector<double> b(k * n, 0.0);
+  // Column 0 is exactly make_rhs(a, norm) so batched runs stay comparable
+  // with every single-RHS record; later columns fork the seed per column.
+  const std::uint64_t base_seed = rhs_seed(a);
+  for (std::size_t j = 0; j < k; ++j) {
+    if (j == 0) {
+      const std::vector<double> b0 = make_rhs(a, norm);
+      std::copy(b0.begin(), b0.end(), b.begin());
+      continue;
+    }
+    util::Rng rng(util::stream_seed(base_seed, j, 0));
+    const std::span<double> col(b.data() + j * n, n);
+    for (double& v : col) v = rng.gaussian();
+    const double n2 = sparse::norm2(col);
+    if (n2 > 0.0) {
+      for (double& v : col) v *= norm / n2;
+    }
+  }
+  return b;
+}
+
+}  // namespace refloat::solve

@@ -1,0 +1,113 @@
+// Batched multi-RHS solves: AX = B for k right-hand sides in lockstep.
+//
+// The accelerator's economics motivate this layer (ROADMAP "batched
+// multi-rhs solves"): a programmed crossbar image is expensive to write and
+// cheap to reuse, so k independent CG/BiCGSTAB instances advance together
+// and merge their operator applications into ONE SpMM per apply point —
+// each reprogram round is charged once per batch instead of once per
+// right-hand side (arch::spmm_time models the amortization).
+//
+// Numerical contract: the lockstep drivers are *orchestration only*. Every
+// column keeps its own scalars, vectors, and Monitor, and every batched
+// apply is column-wise bit-identical to a single apply — so each column's
+// trajectory (status, iteration count, solution, trace) is bit-identical
+// to running solve::cg / solve::bicgstab on that column alone. Columns
+// that terminate drop out of the active batch; the remaining columns keep
+// batching.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/refloat_matrix.h"
+#include "src/solvers/solver.h"
+
+namespace refloat::solve {
+
+// A Y = A X oracle over k column-major vectors (x.size() == k * dim()).
+// Implementations decide whether columns share work; the lockstep drivers
+// only require column-wise bit-identity with the corresponding
+// single-vector operator.
+class MultiOperator {
+ public:
+  virtual ~MultiOperator() = default;
+  virtual void apply_multi(std::span<const double> x, std::size_t k,
+                           std::span<double> y) = 0;
+  [[nodiscard]] virtual sparse::Index dim() const = 0;
+  [[nodiscard]] virtual std::string label() const = 0;
+};
+
+// Baseline adapter: applies a single-vector operator column by column
+// (no batching win — the reference the batched paths are tested against).
+class SequentialMultiOperator final : public MultiOperator {
+ public:
+  explicit SequentialMultiOperator(LinearOperator& op) : op_(op) {}
+  void apply_multi(std::span<const double> x, std::size_t k,
+                   std::span<double> y) override;
+  [[nodiscard]] sparse::Index dim() const override { return op_.dim(); }
+  [[nodiscard]] std::string label() const override {
+    return op_.label() + "+seq";
+  }
+
+ private:
+  LinearOperator& op_;
+};
+
+// Batched ReFloat SpMM over the SpmvPlan arena: every block visited once
+// per batch (RefloatMatrix::spmv_refloat_multi).
+class RefloatMultiOperator final : public MultiOperator {
+ public:
+  explicit RefloatMultiOperator(const core::RefloatMatrix& rf) : rf_(rf) {}
+  void apply_multi(std::span<const double> x, std::size_t k,
+                   std::span<double> y) override {
+    rf_.spmv_refloat_multi(x, k, y, scratch_);
+  }
+  [[nodiscard]] sparse::Index dim() const override {
+    return rf_.quantized().rows();
+  }
+  [[nodiscard]] std::string label() const override {
+    return "refloat+batched";
+  }
+
+ private:
+  const core::RefloatMatrix& rf_;
+  core::MultiSpmvScratch scratch_;
+};
+
+struct BatchedSolveResult {
+  std::vector<SolveResult> columns;  // one per right-hand side, in order
+  // Operator-application accounting: how many batched apply_multi calls the
+  // lockstep run issued vs the per-column applications they carried (the
+  // k-sequential-solves count). Their ratio is the reprogram amortization
+  // the timing model prices.
+  long batched_applies = 0;
+  long column_applies = 0;
+
+  [[nodiscard]] bool all_converged() const {
+    for (const SolveResult& r : columns) {
+      if (r.status != SolveStatus::kConverged) return false;
+    }
+    return true;
+  }
+};
+
+// Lockstep CG on k right-hand sides. `b` holds k column-major vectors of
+// op.dim() entries each. Column j's result is bit-identical to
+// cg(op_single, column j, options).
+BatchedSolveResult cg_multi(MultiOperator& op, std::span<const double> b,
+                            std::size_t k, const SolveOptions& options);
+
+// Lockstep BiCGSTAB (same contract, including the restart rescue and the
+// early s-norm exit of the serial implementation).
+BatchedSolveResult bicgstab_multi(MultiOperator& op,
+                                  std::span<const double> b, std::size_t k,
+                                  const SolveOptions& options);
+
+// k deterministic right-hand sides (column-major), each scaled to
+// ||b_j|| = norm: column 0 is make_rhs(a, norm); later columns perturb the
+// stream seed so a batch exercises genuinely distinct systems.
+std::vector<double> make_rhs_batch(const sparse::Csr& a, std::size_t k,
+                                   double norm = 1.0);
+
+}  // namespace refloat::solve

@@ -16,9 +16,13 @@ const char* status_name(SolveStatus status) {
   return "?";
 }
 
+std::uint64_t rhs_seed(const sparse::Csr& a) {
+  return 0x9e3779b9ull ^ (static_cast<std::uint64_t>(a.rows()) << 20) ^
+         static_cast<std::uint64_t>(a.nnz());
+}
+
 std::vector<double> make_rhs(const sparse::Csr& a, double norm) {
-  util::Rng rng(0x9e3779b9ull ^ (static_cast<std::uint64_t>(a.rows()) << 20) ^
-                static_cast<std::uint64_t>(a.nnz()));
+  util::Rng rng(rhs_seed(a));
   std::vector<double> b(static_cast<std::size_t>(a.rows()));
   for (double& v : b) v = rng.gaussian();
   const double n2 = sparse::norm2(b);

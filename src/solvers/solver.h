@@ -54,6 +54,11 @@ struct SolveResult {
   std::vector<double> trace;    // residual norm per iteration (incl. r0)
 };
 
+// The shape-derived RNG seed behind make_rhs — shared with
+// solve::make_rhs_batch so batch column 0 always reproduces the
+// single-RHS system exactly.
+std::uint64_t rhs_seed(const sparse::Csr& a);
+
 // Deterministic Gaussian right-hand side scaled to ||b|| = norm. Seeded from
 // the matrix shape so every platform solves the identical system.
 std::vector<double> make_rhs(const sparse::Csr& a, double norm = 1.0);

@@ -4,8 +4,7 @@
 // matrices (a caveat bench_table5 reports explicitly).
 //
 // Lives in sparse/ (not gen/) so core/ can run a few steps on a quantized
-// operator as a definiteness probe; gen/spectral.h forwards the historical
-// names for the calibration code.
+// operator as a definiteness probe.
 #pragma once
 
 #include <cstdint>

@@ -71,6 +71,74 @@ TEST(Timing, SolveTimeScalesWithIterations) {
               2.0, 1e-9);
 }
 
+TEST(Timing, SpmmAtBatchOneEqualsSpmv) {
+  const AcceleratorConfig config = refloat_config(core::default_format());
+  for (const std::size_t blocks : {std::size_t{1000}, std::size_t{50000}}) {
+    const SpmvTiming single = spmv_time(config, blocks);
+    const SpmvTiming batch1 = spmm_time(config, blocks, 1);
+    EXPECT_DOUBLE_EQ(single.seconds, batch1.seconds);
+    EXPECT_DOUBLE_EQ(single.per_rhs_seconds, single.seconds);
+    EXPECT_EQ(batch1.batch_k, 1);
+  }
+}
+
+TEST(Timing, BatchAmortizesReprogramCostMonotonically) {
+  const AcceleratorConfig config = refloat_config(core::default_format());
+  const std::size_t blocks = 50000;  // 3 rewrite rounds: write-bound at k=1
+  double prev = spmm_time(config, blocks, 1).per_rhs_seconds;
+  for (const long k : {2L, 4L, 8L, 16L, 32L}) {
+    const SpmvTiming timing = spmm_time(config, blocks, k);
+    // The batch shares each round's writes, so per-RHS time strictly falls
+    // until compute swamps the write phase, then plateaus.
+    EXPECT_LE(timing.per_rhs_seconds, prev) << "k=" << k;
+    prev = timing.per_rhs_seconds;
+  }
+  // And the k=8 batch beats 8 sequential passes outright.
+  const double sequential8 = 8.0 * spmv_time(config, blocks).seconds;
+  EXPECT_LT(spmm_time(config, blocks, 8).seconds, sequential8);
+  // A resident matrix never pays per-pass writes: batching is exactly
+  // linear there (no amortization left beyond the one-time programming).
+  const SpmvTiming resident = spmm_time(config, 1000, 8);
+  EXPECT_DOUBLE_EQ(resident.seconds, 8.0 * spmv_time(config, 1000).seconds);
+}
+
+TEST(Timing, BatchedSolveChargesProgrammingOncePerBatch) {
+  const AcceleratorConfig config = refloat_config(core::default_format());
+  const SolverProfile profile = cg_profile();
+  // Non-resident: per-RHS solve time falls monotonically with k.
+  double prev = accelerator_batched_solve_time(config, 50000, 24696, 100,
+                                               profile, 1)
+                    .per_rhs_seconds;
+  for (const long k : {2L, 4L, 8L, 16L, 32L}) {
+    const SolveTime time = accelerator_batched_solve_time(config, 50000,
+                                                          24696, 100,
+                                                          profile, k);
+    EXPECT_LT(time.per_rhs_seconds, prev) << "k=" << k;
+    EXPECT_EQ(time.batch_k, k);
+    prev = time.per_rhs_seconds;
+  }
+  // k = 1 must be exactly the historical single-RHS model, and the digital
+  // vector work still scales per column.
+  const SolveTime single =
+      accelerator_solve_time(config, 50000, 24696, 100, profile);
+  const SolveTime batch1 = accelerator_batched_solve_time(config, 50000,
+                                                          24696, 100,
+                                                          profile, 1);
+  EXPECT_DOUBLE_EQ(single.total_seconds, batch1.total_seconds);
+  const SolveTime batch4 = accelerator_batched_solve_time(config, 50000,
+                                                          24696, 100,
+                                                          profile, 4);
+  EXPECT_DOUBLE_EQ(batch4.vector_seconds, 4.0 * batch1.vector_seconds);
+  // Resident: the one-time programming is charged once for the whole batch.
+  const SolveTime res1 = accelerator_batched_solve_time(config, 1000, 24696,
+                                                        100, profile, 1);
+  const SolveTime res8 = accelerator_batched_solve_time(config, 1000, 24696,
+                                                        100, profile, 8);
+  EXPECT_GT(res1.program_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(res8.program_seconds, res1.program_seconds);
+  EXPECT_LT(res8.per_rhs_seconds, res1.per_rhs_seconds);
+}
+
 TEST(Schedule, EventTimelineMatchesClosedForm) {
   // The closed form must be the timeline's exact fixed point, resident and
   // multi-round, with and without overlap.

@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/util/random.h"
 
 namespace refloat::core {
 namespace {
@@ -91,6 +95,63 @@ TEST(Format, SelectBlockBaseModes) {
   EXPECT_EQ(select_block_base(values, 3, policy), 4);  // max anchor
   policy.base = BaseMode::kMeanEq5;
   EXPECT_EQ(select_block_base(values, 3, policy), 2);  // rounded mean
+}
+
+TEST(Format, SelectBlockBaseHandlesDenormalsAndSpecials) {
+  // The fast max-anchor path reads raw exponent fields; all-denormal and
+  // inf/nan-contaminated spans must still match ilogb semantics.
+  QuantPolicy policy;
+  const double denormal = std::ldexp(1.0, -1050);
+  EXPECT_EQ(select_block_base(std::vector<double>{denormal}, 3, policy),
+            std::ilogb(denormal));
+  EXPECT_EQ(select_block_base(std::vector<double>{0.0, 0.0}, 3, policy), 0);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(select_block_base(std::vector<double>{inf, 4.0}, 3, policy), 2);
+}
+
+TEST(Format, QuantizeSpanBitIdenticalToQuantizeValue) {
+  // The SpMV hot path (quantize_span) must reproduce quantize_value
+  // bit-for-bit over every regime: in-window, ties-to-even boundaries,
+  // rounding carry past the ceiling, gradual underflow, flush/clamp
+  // underflow modes, denormals, negatives, signed zeros, and the f=52
+  // fallback where the magic-constant rounding would lose exactness.
+  std::vector<double> values = {
+      0.0,           -0.0,
+      1.0,           -1.0,
+      1.0625,        1.1875,  // ties at f=3: 1+1/16 and 1+3/16
+      1.99999,       -1.99999,  // carries to 2.0 at coarse f
+      3.7,           -123.456,
+      1e-3,          -2.5e-4,  // below an e=3 window anchored near 0
+      5e-12,         1e-300,   // deep underflow
+      std::ldexp(1.0, -1060),  // denormal
+      std::ldexp(1.5, -1040),
+  };
+  util::Rng rng(909);
+  for (int i = 0; i < 512; ++i) {
+    values.push_back(rng.gaussian() * std::ldexp(1.0, rng.below(40) - 20));
+  }
+  for (const int base : {0, 3, -30}) {
+    for (const int f_bits : {3, 8, 16, 52}) {
+      for (QuantPolicy policy :
+           {QuantPolicy{}, paper_literal_policy()}) {
+        for (const auto underflow :
+             {UnderflowMode::kDenormalize, UnderflowMode::kFlushToZero,
+              UnderflowMode::kClampOffsetKeepFraction}) {
+          policy.underflow = underflow;
+          std::vector<double> out(values.size());
+          quantize_span(values, base, 3, f_bits, policy, out);
+          for (std::size_t i = 0; i < values.size(); ++i) {
+            const double want =
+                quantize_value(values[i], base, 3, f_bits, policy, nullptr);
+            EXPECT_EQ(out[i], want)
+                << "v=" << values[i] << " base=" << base << " f=" << f_bits
+                << " underflow=" << static_cast<int>(underflow);
+            EXPECT_EQ(std::signbit(out[i]), std::signbit(want));
+          }
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

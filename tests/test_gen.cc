@@ -5,9 +5,9 @@
 
 #include "src/gen/grid.h"
 #include "src/gen/rcm.h"
-#include "src/gen/spectral.h"
 #include "src/gen/suite.h"
 #include "src/gen/wathen.h"
+#include "src/sparse/lanczos.h"
 #include "src/sparse/vector_ops.h"
 #include "src/util/random.h"
 
@@ -95,7 +95,7 @@ TEST(Lanczos, FindsExtremesOfKnownSpectrum) {
         {i, i, 0.5 + 7.5 * static_cast<double>(i) / static_cast<double>(n - 1)});
   }
   const sparse::Csr a = sparse::Csr::from_triplets(n, n, triplets);
-  const SpectrumEstimate est = lanczos_extremes(
+  const sparse::SpectrumEstimate est = sparse::lanczos_extremes(
       [&a](std::span<const double> x, std::span<double> y) { a.spmv(x, y); },
       static_cast<std::size_t>(n), 64, 17);
   EXPECT_NEAR(est.lambda_max, 8.0, 1e-6);

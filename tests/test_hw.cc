@@ -66,7 +66,7 @@ TEST(ProcessingEngine, MatchesRefloatQuantizedProduct) {
       gen::build_stencil(gen::laplace2d_5pt(4, 4)).shifted(0.2);  // 16 = 2^b
   const core::RefloatMatrix rf(a, fmt);
   ASSERT_EQ(rf.nonzero_blocks(), 1u);
-  const auto& block = rf.block_data()[0];
+  const int block_base = rf.plan().base[0];
 
   std::vector<std::vector<double>> dense(16, std::vector<double>(16, 0.0));
   // Rebuild the raw block from the original matrix.
@@ -82,7 +82,7 @@ TEST(ProcessingEngine, MatchesRefloatQuantizedProduct) {
     }
   }
 
-  ProcessingEngine engine(dense, block.base, fmt);
+  ProcessingEngine engine(dense, block_base, fmt);
   util::Rng rng(33);
   std::vector<double> x(16);
   for (double& v : x) v = rng.gaussian();

@@ -97,12 +97,13 @@ TEST(RefloatMatrix, SpmvRefloatMatchesQuantizedCsr) {
   }
 }
 
-TEST(RefloatMatrix, BlockDataCoversAllNonzeros) {
+TEST(RefloatMatrix, PlanCoversAllNonzeros) {
   const sparse::Csr a = test_matrix();
   const RefloatMatrix rf(a, default_format());
-  std::size_t entries = 0;
-  for (const auto& block : rf.block_data()) entries += block.entries.size();
-  EXPECT_EQ(entries, static_cast<std::size_t>(rf.quantized().nnz()));
+  const SpmvPlan& plan = rf.plan();
+  EXPECT_TRUE(plan.valid());
+  EXPECT_EQ(plan.num_entries(), static_cast<std::size_t>(rf.quantized().nnz()));
+  EXPECT_EQ(plan.num_blocks(), rf.nonzero_blocks());
   EXPECT_GT(rf.nonzero_blocks(), 0u);
 }
 

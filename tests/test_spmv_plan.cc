@@ -1,0 +1,238 @@
+// The SpmvPlan contract: the contiguous SoA payload is a pure layout change
+// — plan-SpMV is bit-identical to the historical per-block-heap path, the
+// batched SpMM is column-wise bit-identical to sequential SpMVs, both at
+// every tested thread count (including odd shard counts), and an all-zero
+// band of rows appears as an empty block-row range, not a missing one.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/core/refloat_matrix.h"
+#include "src/gen/grid.h"
+#include "src/util/random.h"
+#include "src/util/thread_pool.h"
+
+namespace refloat {
+namespace {
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.gaussian();
+  return x;
+}
+
+// The pre-plan payload (PR 4 era): one heap-allocated entry vector per
+// block, bucketed in (brow, bcol) map order with entries in CSR row-major
+// order — rebuilt here from the dequantized CSR as an independent reference
+// for the plan's ordering contract.
+struct LegacyEntry {
+  std::int32_t r, c;
+  double v;
+};
+using LegacyBlocks =
+    std::map<std::pair<sparse::Index, sparse::Index>, std::vector<LegacyEntry>>;
+
+LegacyBlocks legacy_blocks(const core::RefloatMatrix& rf) {
+  LegacyBlocks blocks;
+  const sparse::Csr& q = rf.quantized();
+  const int b = rf.format().b;
+  const auto row_ptr = q.row_ptr();
+  const auto col_idx = q.col_idx();
+  const auto values = q.values();
+  for (sparse::Index r = 0; r < q.rows(); ++r) {
+    for (sparse::Index k = row_ptr[static_cast<std::size_t>(r)];
+         k < row_ptr[static_cast<std::size_t>(r) + 1]; ++k) {
+      const sparse::Index c = col_idx[static_cast<std::size_t>(k)];
+      blocks[{r >> b, c >> b}].push_back(
+          {static_cast<std::int32_t>(r & ((sparse::Index{1} << b) - 1)),
+           static_cast<std::int32_t>(c & ((sparse::Index{1} << b) - 1)),
+           values[static_cast<std::size_t>(k)]});
+    }
+  }
+  return blocks;
+}
+
+// The pre-plan SpMV loop: serial walk over the AoS blocks in map order.
+std::vector<double> legacy_spmv(const core::RefloatMatrix& rf,
+                                const LegacyBlocks& blocks,
+                                std::span<const double> x) {
+  std::vector<double> xq(x.size());
+  rf.quantize_vector(x, xq);
+  std::vector<double> y(static_cast<std::size_t>(rf.quantized().rows()), 0.0);
+  const int b = rf.format().b;
+  for (const auto& [key, entries] : blocks) {
+    const sparse::Index row0 = key.first << b;
+    const sparse::Index col0 = key.second << b;
+    for (const LegacyEntry& e : entries) {
+      y[static_cast<std::size_t>(row0 + e.r)] +=
+          e.v * xq[static_cast<std::size_t>(col0 + e.c)];
+    }
+  }
+  return y;
+}
+
+TEST(SpmvPlan, StructureIsValidAndMatchesLegacyBucketing) {
+  const core::Format fmt{.b = 4, .e = 3, .f = 3, .ev = 3, .fv = 8};
+  const sparse::Csr a =
+      gen::build_stencil(gen::laplace2d_5pt(20, 10)).shifted(0.2);
+  const core::RefloatMatrix rf(a, fmt);
+  const core::SpmvPlan& plan = rf.plan();
+  ASSERT_TRUE(plan.valid());
+
+  const LegacyBlocks legacy = legacy_blocks(rf);
+  ASSERT_EQ(plan.num_blocks(), legacy.size());
+  // Same blocks in the same order, same entries in the same order.
+  std::size_t j = 0;
+  for (const auto& [key, entries] : legacy) {
+    EXPECT_EQ(plan.row0[j], key.first << fmt.b);
+    EXPECT_EQ(plan.col0[j], key.second << fmt.b);
+    ASSERT_EQ(plan.entry_ptr[j + 1] - plan.entry_ptr[j], entries.size());
+    for (std::size_t e = 0; e < entries.size(); ++e) {
+      const std::size_t idx = plan.entry_ptr[j] + e;
+      EXPECT_EQ(plan.entry_row[idx], entries[e].r);
+      EXPECT_EQ(plan.entry_col[idx], entries[e].c);
+      EXPECT_EQ(plan.entry_value[idx], entries[e].v);
+    }
+    ++j;
+  }
+  EXPECT_GT(plan.payload_bytes(), 0u);
+}
+
+TEST(SpmvPlan, SpmvBitIdenticalToLegacyPathAcrossThreadCounts) {
+  const core::Format fmt{.b = 4, .e = 3, .f = 3, .ev = 3, .fv = 8};
+  // 20x10 grid -> 200 rows -> 13 block-rows at b=4: odd, not a multiple of
+  // any tested thread count.
+  const sparse::Csr a =
+      gen::build_stencil(gen::laplace2d_5pt(20, 10)).shifted(0.2);
+  const core::RefloatMatrix rf(a, fmt);
+  const std::vector<double> x =
+      random_vector(static_cast<std::size_t>(a.rows()), 301);
+  const std::vector<double> reference =
+      legacy_spmv(rf, legacy_blocks(rf), x);
+  for (const int threads : {1, 2, 8}) {
+    util::ThreadPool::set_global_threads(threads);
+    std::vector<double> y(x.size());
+    std::vector<double> scratch;
+    rf.spmv_refloat(x, y, scratch);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      ASSERT_EQ(y[i], reference[i])
+          << "row " << i << " at " << threads << " threads";
+    }
+  }
+  util::ThreadPool::set_global_threads(1);
+}
+
+TEST(SpmvPlan, SpmmBitIdenticalToSequentialSpmvsAcrossThreadCounts) {
+  const core::Format fmt{.b = 4, .e = 3, .f = 3, .ev = 3, .fv = 8};
+  const sparse::Csr a =
+      gen::build_stencil(gen::laplace2d_5pt(20, 10)).shifted(0.2);
+  const core::RefloatMatrix rf(a, fmt);
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  for (const std::size_t k : {std::size_t{3}, std::size_t{8}}) {
+    const std::vector<double> x = random_vector(n * k, 400 + k);
+    // Reference: k sequential single-RHS SpMVs, serial.
+    util::ThreadPool::set_global_threads(1);
+    std::vector<double> reference(n * k);
+    std::vector<double> scratch;
+    for (std::size_t j = 0; j < k; ++j) {
+      std::vector<double> y(n);
+      rf.spmv_refloat(std::span<const double>(x).subspan(j * n, n), y,
+                      scratch);
+      std::copy(y.begin(), y.end(), reference.begin() + j * n);
+    }
+    for (const int threads : {1, 2, 8}) {
+      util::ThreadPool::set_global_threads(threads);
+      std::vector<double> y(n * k);
+      core::MultiSpmvScratch multi_scratch;
+      rf.spmv_refloat_multi(x, k, y, multi_scratch);
+      for (std::size_t i = 0; i < y.size(); ++i) {
+        ASSERT_EQ(y[i], reference[i]) << "slot " << i << " at " << threads
+                                      << " threads, k=" << k;
+      }
+    }
+  }
+  util::ThreadPool::set_global_threads(1);
+}
+
+TEST(SpmvPlan, EmptyBlockRowIsAnEmptyRangeNotAMissingOne) {
+  // 64x64 at b=4: rows 16..31 carry no entries at all, so grid block-row 1
+  // must exist in the plan index as an empty range.
+  std::vector<sparse::Triplet> triplets;
+  for (sparse::Index i = 0; i < 64; ++i) {
+    if (i >= 16 && i < 32) continue;
+    triplets.push_back({i, i, 2.0 + 0.01 * static_cast<double>(i)});
+    if (i + 1 < 64) triplets.push_back({i, i + 1, -0.5});
+  }
+  const sparse::Csr a = sparse::Csr::from_triplets(64, 64, triplets);
+  core::Format fmt = core::default_format();
+  fmt.b = 4;
+  const core::RefloatMatrix rf(a, fmt);
+  const core::SpmvPlan& plan = rf.plan();
+  ASSERT_TRUE(plan.valid());
+  ASSERT_EQ(plan.block_rows(), 4u);
+  EXPECT_EQ(plan.block_ptr[1], plan.block_ptr[2]);  // block-row 1 is empty
+  EXPECT_GT(plan.block_ptr[1], plan.block_ptr[0]);
+  EXPECT_GT(plan.block_ptr[3], plan.block_ptr[2]);
+
+  // SpMV over the gap still matches the quantized-CSR reference, at every
+  // thread count, and the empty band reads exactly zero.
+  const std::vector<double> x = random_vector(64, 500);
+  std::vector<double> xq(64);
+  rf.quantize_vector(x, xq);
+  std::vector<double> reference(64, 0.0);
+  rf.quantized().spmv(xq, reference);
+  for (const int threads : {1, 2, 8}) {
+    util::ThreadPool::set_global_threads(threads);
+    std::vector<double> y(64);
+    std::vector<double> scratch;
+    rf.spmv_refloat(x, y, scratch);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      ASSERT_EQ(y[i], reference[i]) << "row " << i;
+    }
+    for (std::size_t i = 16; i < 32; ++i) ASSERT_EQ(y[i], 0.0);
+    // And the batched path over the same gap.
+    const std::size_t k = 3;
+    const std::vector<double> xs = random_vector(64 * k, 501);
+    std::vector<double> ys(64 * k);
+    core::MultiSpmvScratch multi_scratch;
+    rf.spmv_refloat_multi(xs, k, ys, multi_scratch);
+    std::vector<double> ycol(64);
+    for (std::size_t j = 0; j < k; ++j) {
+      rf.spmv_refloat(std::span<const double>(xs).subspan(j * 64, 64), ycol,
+                      scratch);
+      for (std::size_t i = 0; i < 64; ++i) {
+        ASSERT_EQ(ys[j * 64 + i], ycol[i]) << "col " << j << " row " << i;
+      }
+    }
+  }
+  util::ThreadPool::set_global_threads(1);
+}
+
+TEST(SpmvPlan, ScalarFormatHasNoBlocksButSpmmStillWorks) {
+  const sparse::Csr a =
+      gen::build_stencil(gen::laplace2d_5pt(8, 8)).shifted(0.2);
+  const core::RefloatMatrix rf(a, core::format_fp64());
+  EXPECT_EQ(rf.plan().num_blocks(), 0u);
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  const std::size_t k = 2;
+  const std::vector<double> x = random_vector(n * k, 600);
+  std::vector<double> y(n * k);
+  core::MultiSpmvScratch multi_scratch;
+  rf.spmv_refloat_multi(x, k, y, multi_scratch);
+  std::vector<double> scratch;
+  std::vector<double> ycol(n);
+  for (std::size_t j = 0; j < k; ++j) {
+    rf.spmv_refloat(std::span<const double>(x).subspan(j * n, n), ycol,
+                    scratch);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(y[j * n + i], ycol[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace refloat

@@ -91,7 +91,7 @@ TEST(ThreadedSpmv, RefloatBitIdenticalAcrossThreadCounts) {
   const sparse::Csr a =
       gen::build_stencil(gen::laplace2d_5pt(20, 10)).shifted(0.2);
   const core::RefloatMatrix rf(a, fmt);
-  ASSERT_EQ(rf.block_row_begin().size(), 14u);
+  ASSERT_EQ(rf.plan().block_rows(), 13u);
   const std::vector<double> x =
       random_vector(static_cast<std::size_t>(a.rows()), 101);
   expect_bit_identical_across_threads([&] {
