@@ -7,13 +7,16 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/core/refloat_matrix.h"
+#include "src/core/simd.h"
 #include "src/gen/grid.h"
 #include "src/hw/engine.h"
 #include "src/solvers/solver.h"
 #include "src/util/random.h"
+#include "src/util/thread_pool.h"
 
 namespace {
 
@@ -21,6 +24,18 @@ using namespace refloat;
 
 sparse::Csr make_matrix(long side) {
   return gen::build_stencil(gen::laplace2d_5pt(side, side)).shifted(0.05);
+}
+
+// Attaches the derived per-kernel rates: GFLOP/s from the flop count per
+// pass and GB/s from the modeled bytes per pass (payload + operand/result
+// traffic, no cache reuse credited — an upper bound on true DRAM traffic).
+void set_rates(benchmark::State& state, double flops, double bytes) {
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      flops, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::OneK::kIs1000);
+  state.counters["GB/s"] = benchmark::Counter(
+      bytes, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::OneK::kIs1000);
 }
 
 void BM_CsrSpmv(benchmark::State& state) {
@@ -82,9 +97,8 @@ void BM_RefloatSpmv(benchmark::State& state) {
   const auto nnz = static_cast<double>(rf.plan().num_entries());
   state.SetItemsProcessed(static_cast<long>(state.iterations()) *
                           static_cast<long>(a.nnz()));
-  state.counters["FLOPS"] = benchmark::Counter(
-      2.0 * nnz, benchmark::Counter::kIsIterationInvariantRate,
-      benchmark::Counter::OneK::kIs1000);
+  set_rates(state, 2.0 * nnz,
+            static_cast<double>(rf.plan().payload_bytes()) + 24.0 * nnz);
   state.counters["bytes_per_nnz"] =
       static_cast<double>(rf.plan().payload_bytes()) / nnz;
 }
@@ -135,9 +149,7 @@ void BM_LegacyBlockSpmv(benchmark::State& state) {
   const auto nnz = static_cast<double>(plan.num_entries());
   state.SetItemsProcessed(static_cast<long>(state.iterations()) *
                           static_cast<long>(a.nnz()));
-  state.counters["FLOPS"] = benchmark::Counter(
-      2.0 * nnz, benchmark::Counter::kIsIterationInvariantRate,
-      benchmark::Counter::OneK::kIs1000);
+  set_rates(state, 2.0 * nnz, static_cast<double>(legacy_bytes) + 24.0 * nnz);
   state.counters["bytes_per_nnz"] = static_cast<double>(legacy_bytes) / nnz;
 }
 BENCHMARK(BM_LegacyBlockSpmv)->Arg(64)->Arg(128)->Arg(256);
@@ -161,10 +173,9 @@ void BM_RefloatSpmm8(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<long>(state.iterations()) *
                           static_cast<long>(a.nnz()) *
                           static_cast<long>(kRhs));
-  state.counters["FLOPS"] = benchmark::Counter(
-      2.0 * nnz * static_cast<double>(kRhs),
-      benchmark::Counter::kIsIterationInvariantRate,
-      benchmark::Counter::OneK::kIs1000);
+  set_rates(state, 2.0 * nnz * static_cast<double>(kRhs),
+            static_cast<double>(rf.plan().payload_bytes()) +
+                24.0 * nnz * static_cast<double>(kRhs));
 }
 BENCHMARK(BM_RefloatSpmm8)->Arg(64)->Arg(128)->Arg(256);
 
@@ -263,10 +274,9 @@ void BM_RefloatSpmv8Sequential(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<long>(state.iterations()) *
                           static_cast<long>(a.nnz()) *
                           static_cast<long>(kRhs));
-  state.counters["FLOPS"] = benchmark::Counter(
-      2.0 * nnz * static_cast<double>(kRhs),
-      benchmark::Counter::kIsIterationInvariantRate,
-      benchmark::Counter::OneK::kIs1000);
+  set_rates(state, 2.0 * nnz * static_cast<double>(kRhs),
+            static_cast<double>(kRhs) *
+                (static_cast<double>(rf.plan().payload_bytes()) + 24.0 * nnz));
 }
 BENCHMARK(BM_RefloatSpmv8Sequential)->Arg(64)->Arg(128)->Arg(256);
 
@@ -320,4 +330,23 @@ BENCHMARK(BM_EngineApply);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Record which kernel path these numbers actually measured: the SpMV /
+  // quantize benchmarks above run whatever src/core/simd.cc dispatch picks
+  // (cpuid, or a REFLOAT_SIMD override).
+  benchmark::AddCustomContext(
+      "refloat_simd_active",
+      core::simd_isa_name(core::simd_active_isa()));
+  benchmark::AddCustomContext(
+      "refloat_simd_best",
+      core::simd_isa_name(core::simd_best_supported()));
+  benchmark::AddCustomContext(
+      "refloat_threads", std::to_string(util::ThreadPool::default_threads()));
+  benchmark::AddCustomContext("refloat_affinity",
+                              util::ThreadPool::affinity_mode_name());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,278 @@
+// bench_micro: the SIMD-dispatch microbenchmark harness behind the
+// perf-smoke CI gate (scripts/bench_compare.py vs bench/micro/baseline.json).
+//
+// Unlike bench/bench_kernels.cpp (which measures whatever ISA dispatch
+// picks), every sweep suite here is registered once PER RUNNABLE ISA via
+// core::simd_set_isa, so one JSON run carries the scalar-vs-vector ratio
+// directly. Suites:
+//
+//   sweep_spmv/<isa>      kernel-only single-RHS plan sweep (no quantize,
+//                         no thread pool) — the AVX2 gather+multiply path
+//   sweep_spmm/<isa>/K    kernel-only K-RHS interleaved sweep, K 2/4/8/16
+//   quantize_span/<isa>   the exponent-field fast path over dense spans
+//   plan_build            RefloatMatrix conversion (quantize + arena)
+//   spmv_e2e/<isa>        full spmv_refloat (quantize_vector + sweep) at
+//                         grid 128 — comparable to the historical 316 us
+//                         scalar number in EXPERIMENTS.md
+//   spmv_threads/T        spmv_e2e on the active ISA at T = 1/2/4/8 pool
+//                         threads
+//   calibration           fixed serial FP dependency chain; pure host-speed
+//                         probe used by bench_compare.py --normalize to
+//                         factor machine speed out of cross-host baselines
+//
+// Sweep suites register paired latency/throughput variants: ".../lat" is
+// the plain wall-time view the regression gate compares, ".../thr" adds
+// GFLOP/s and model GB/s rate counters (rates are meaningless to diff
+// directly across machines, so the gate skips "/thr" names by default).
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/refloat_matrix.h"
+#include "src/core/simd.h"
+#include "src/gen/grid.h"
+#include "src/util/random.h"
+#include "src/util/thread_pool.h"
+
+namespace {
+
+using namespace refloat;
+
+// One cached workload per grid side: the stencil matrix, its ReFloat
+// conversion, and pre-generated operands. Built on first use and reused by
+// every registration so the suite pays conversion once, not per benchmark.
+struct Workload {
+  sparse::Csr a;
+  core::RefloatMatrix rf;
+  std::vector<double> x;   // dense gaussian operand
+  std::vector<double> xq;  // pre-quantized operand (kernel-only sweeps)
+
+  explicit Workload(long side)
+      : a(gen::build_stencil(gen::laplace2d_5pt(side, side)).shifted(0.05)),
+        rf(a, core::default_format()),
+        x(static_cast<std::size_t>(a.rows())),
+        xq(static_cast<std::size_t>(a.rows())) {
+    util::Rng rng(7);
+    for (double& v : x) v = rng.gaussian();
+    rf.quantize_vector(x, xq);
+  }
+};
+
+const Workload& workload(long side) {
+  static std::map<long, std::unique_ptr<Workload>> cache;
+  auto& slot = cache[side];
+  if (!slot) slot = std::make_unique<Workload>(side);
+  return *slot;
+}
+
+std::vector<core::SimdIsa> runnable_isas() {
+  std::vector<core::SimdIsa> isas = {core::SimdIsa::kScalar};
+  for (const core::SimdIsa isa :
+       {core::SimdIsa::kAvx2, core::SimdIsa::kNeon}) {
+    if (core::simd_isa_supported(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+// --- sweep_spmv: kernel-only single-RHS plan sweep -------------------------
+
+void sweep_spmv(benchmark::State& state, core::SimdIsa isa, bool rates) {
+  core::simd_set_isa(isa);
+  const Workload& w = workload(state.range(0));
+  const core::SpmvPlan& plan = w.rf.plan();
+  const core::SweepKernels& kernels = core::sweep_kernels();
+  std::vector<double> y(static_cast<std::size_t>(w.a.rows()));
+  for (auto _ : state) {
+    std::fill(y.begin(), y.end(), 0.0);
+    for (std::size_t br = 0; br < plan.block_rows(); ++br) {
+      kernels.spmv_block_row(plan, br, w.xq.data(), y.data());
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  const auto nnz = static_cast<double>(plan.num_entries());
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(plan.num_entries()));
+  if (rates) {
+    // Model traffic per nonzero: the arena payload plus one 8-byte x gather
+    // and a 16-byte y read+write (upper bound: no cache reuse credited).
+    const double bytes =
+        static_cast<double>(plan.payload_bytes()) + 24.0 * nnz;
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        2.0 * nnz, benchmark::Counter::kIsIterationInvariantRate,
+        benchmark::Counter::OneK::kIs1000);
+    state.counters["GB/s"] = benchmark::Counter(
+        bytes, benchmark::Counter::kIsIterationInvariantRate,
+        benchmark::Counter::OneK::kIs1000);
+  }
+}
+
+// --- sweep_spmm: kernel-only K-RHS interleaved sweep -----------------------
+
+void sweep_spmm(benchmark::State& state, core::SimdIsa isa, bool rates) {
+  core::simd_set_isa(isa);
+  const std::size_t k = static_cast<std::size_t>(state.range(1));
+  const Workload& w = workload(state.range(0));
+  const core::SpmvPlan& plan = w.rf.plan();
+  const core::SweepKernels& kernels = core::sweep_kernels();
+  const std::size_t n = static_cast<std::size_t>(w.a.rows());
+  util::Rng rng(17);
+  std::vector<double> x(n * k);
+  for (double& v : x) v = rng.gaussian();
+  std::vector<double> y(n * k);
+  for (auto _ : state) {
+    std::fill(y.begin(), y.end(), 0.0);
+    for (std::size_t br = 0; br < plan.block_rows(); ++br) {
+      kernels.spmm_block_row(plan, br, k, x.data(), y.data());
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  const auto nnz = static_cast<double>(plan.num_entries());
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(plan.num_entries()) *
+                          static_cast<long>(k));
+  if (rates) {
+    const double kd = static_cast<double>(k);
+    const double bytes =
+        static_cast<double>(plan.payload_bytes()) + 24.0 * nnz * kd;
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        2.0 * nnz * kd, benchmark::Counter::kIsIterationInvariantRate,
+        benchmark::Counter::OneK::kIs1000);
+    state.counters["GB/s"] = benchmark::Counter(
+        bytes, benchmark::Counter::kIsIterationInvariantRate,
+        benchmark::Counter::OneK::kIs1000);
+  }
+}
+
+// --- quantize_span: the exponent-field fast path ---------------------------
+
+void quantize_span(benchmark::State& state, core::SimdIsa isa) {
+  core::simd_set_isa(isa);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(23);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.gaussian();
+  const core::QuantPolicy policy;
+  const int base = core::select_block_base(x, 3, policy);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    core::quantize_span(x, base, 3, 8, policy, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(n));
+  state.counters["GB/s"] = benchmark::Counter(
+      16.0 * static_cast<double>(n),  // 8 in + 8 out per element
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::OneK::kIs1000);
+}
+
+// --- plan_build: conversion + arena construction ---------------------------
+
+void plan_build(benchmark::State& state) {
+  const Workload& w = workload(state.range(0));
+  const core::Format fmt = core::default_format();
+  for (auto _ : state) {
+    core::RefloatMatrix rf(w.a, fmt);
+    benchmark::DoNotOptimize(rf.nonzero_blocks());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(w.a.nnz()));
+}
+
+// --- spmv_e2e / spmv_threads: the full spmv_refloat path -------------------
+
+void spmv_e2e(benchmark::State& state, core::SimdIsa isa, int threads) {
+  core::simd_set_isa(isa);
+  util::ThreadPool::set_global_threads(threads);
+  const Workload& w = workload(state.range(0));
+  std::vector<double> y(static_cast<std::size_t>(w.a.rows()));
+  std::vector<double> scratch;
+  for (auto _ : state) {
+    w.rf.spmv_refloat(w.x, y, scratch);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(w.a.nnz()));
+  util::ThreadPool::set_global_threads(1);
+}
+
+// --- calibration: fixed host-speed probe -----------------------------------
+
+void calibration(benchmark::State& state) {
+  // A serial FP dependency chain the compiler can neither vectorize nor
+  // reassociate: its time moves only with host clock speed, never with any
+  // change in this repository. bench_compare.py --normalize divides every
+  // benchmark's time by this one to compare runs across hosts.
+  double acc = 1.0;
+  for (auto _ : state) {
+    for (int i = 0; i < 4096; ++i) acc = acc * 1.0000001 + 1e-9;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
+void register_all() {
+  const std::vector<core::SimdIsa> isas = runnable_isas();
+  for (const core::SimdIsa isa : isas) {
+    const std::string tag = core::simd_isa_name(isa);
+    benchmark::RegisterBenchmark(
+        ("sweep_spmv/" + tag + "/lat").c_str(),
+        [isa](benchmark::State& s) { sweep_spmv(s, isa, false); })
+        ->Arg(64)->Arg(128)->Arg(256);
+    benchmark::RegisterBenchmark(
+        ("sweep_spmv/" + tag + "/thr").c_str(),
+        [isa](benchmark::State& s) { sweep_spmv(s, isa, true); })
+        ->Arg(128);
+    benchmark::RegisterBenchmark(
+        ("sweep_spmm/" + tag + "/lat").c_str(),
+        [isa](benchmark::State& s) { sweep_spmm(s, isa, false); })
+        ->Args({128, 2})->Args({128, 4})->Args({128, 8})->Args({128, 16});
+    benchmark::RegisterBenchmark(
+        ("sweep_spmm/" + tag + "/thr").c_str(),
+        [isa](benchmark::State& s) { sweep_spmm(s, isa, true); })
+        ->Args({128, 8});
+    benchmark::RegisterBenchmark(
+        ("quantize_span/" + tag).c_str(),
+        [isa](benchmark::State& s) { quantize_span(s, isa); })
+        ->Arg(4096)->Arg(16384)->Arg(65536);
+    benchmark::RegisterBenchmark(
+        ("spmv_e2e/" + tag).c_str(),
+        [isa](benchmark::State& s) { spmv_e2e(s, isa, 1); })
+        ->Arg(128);
+  }
+  benchmark::RegisterBenchmark("plan_build", plan_build)->Arg(64)->Arg(128);
+  const core::SimdIsa best = core::simd_best_supported();
+  for (const int threads : {1, 2, 4, 8}) {
+    benchmark::RegisterBenchmark(
+        ("spmv_threads/" + std::to_string(threads)).c_str(),
+        [best, threads](benchmark::State& s) { spmv_e2e(s, best, threads); })
+        ->Arg(128);
+  }
+  benchmark::RegisterBenchmark("calibration", calibration);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Self-description in the JSON context block: which kernel path the
+  // dispatcher would pick by default, and the pool configuration — so a
+  // baseline JSON records what it actually measured.
+  benchmark::AddCustomContext("refloat_simd_active",
+                              core::simd_isa_name(core::simd_active_isa()));
+  benchmark::AddCustomContext("refloat_simd_best",
+                              core::simd_isa_name(core::simd_best_supported()));
+  benchmark::AddCustomContext(
+      "refloat_threads",
+      std::to_string(refloat::util::ThreadPool::default_threads()));
+  benchmark::AddCustomContext(
+      "refloat_affinity", refloat::util::ThreadPool::affinity_mode_name());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

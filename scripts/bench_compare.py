@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a checked-in baseline.
+
+The perf-smoke CI job runs bench_micro with --benchmark_out=current.json and
+gates on:
+
+    python3 scripts/bench_compare.py bench/micro/baseline.json current.json
+
+A benchmark REGRESSES when its time exceeds baseline * (1 + tolerance);
+a benchmark present in the baseline but missing from the run is an error
+(renames must update the baseline deliberately, not silently drop the gate).
+New benchmarks absent from the baseline are reported but never fail — the
+next --update run adopts them.
+
+Cross-host noise: raw nanoseconds only compare cleanly on the machine that
+produced the baseline. --normalize divides every time by the run's own
+`calibration` benchmark (a fixed serial FP chain that tracks host speed and
+nothing in this repository), which makes the ratio portable between hosts of
+the same ISA generation. Rate counters (".../thr" suites, GB/s, GFLOP/s) are
+skipped: they are derived views of the same times.
+
+Refresh the baseline after an intentional perf change with:
+
+    python3 scripts/bench_compare.py baseline.json current.json --update
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path, normalize):
+    """Returns {benchmark name: cpu_time in ns (possibly normalized)}.
+
+    When the run used --benchmark_repetitions, the median aggregates are
+    used instead of the individual repetitions — on shared/noisy hosts a
+    single repetition can swing well past any sane tolerance.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    raw, medians = {}, {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") == "median":
+                medians[b["run_name"]] = float(b["cpu_time"])
+            continue
+        raw[b["name"]] = float(b["cpu_time"])
+    times = medians if medians else raw
+    times = {k: v for k, v in times.items() if "/thr" not in k}
+    # throughput twins re-measure what the /lat twin gates; skip them
+    if normalize:
+        cal = times.get("calibration")
+        if not cal:
+            sys.exit(f"{path}: --normalize needs a 'calibration' benchmark")
+        times = {k: v / cal for k, v in times.items() if k != "calibration"}
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="checked-in baseline JSON")
+    ap.add_argument("current", help="fresh --benchmark_out JSON")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional slowdown per benchmark "
+                         "(default 0.25 = +25%%)")
+    ap.add_argument("--normalize", action="store_true",
+                    help="divide every time by the run's own 'calibration' "
+                         "benchmark before comparing (cross-host runs)")
+    ap.add_argument("--update", action="store_true",
+                    help="overwrite the baseline with the current run "
+                         "instead of comparing")
+    args = ap.parse_args()
+
+    if args.update:
+        with open(args.current) as f:
+            doc = json.load(f)
+        with open(args.baseline, "w") as f:
+            json.dump(doc, f, indent=1)
+            f.write("\n")
+        print(f"baseline refreshed from {args.current}")
+        return 0
+
+    base = load_times(args.baseline, args.normalize)
+    cur = load_times(args.current, args.normalize)
+
+    regressions = []
+    improvements = []
+    missing = sorted(set(base) - set(cur))
+    new = sorted(set(cur) - set(base))
+    width = max((len(n) for n in base), default=0)
+    print(f"{'benchmark':<{width}}  {'base':>10}  {'curr':>10}  ratio")
+    for name in sorted(base):
+        if name not in cur:
+            continue
+        ratio = cur[name] / base[name] if base[name] else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.tolerance:
+            regressions.append((name, ratio))
+            flag = "  REGRESSION"
+        elif ratio < 1.0 - args.tolerance:
+            improvements.append((name, ratio))
+            flag = "  improved"
+        print(f"{name:<{width}}  {base[name]:>10.1f}  {cur[name]:>10.1f}  "
+              f"{ratio:5.2f}x{flag}")
+
+    for name in new:
+        print(f"{name:<{width}}  {'-':>10}  {cur[name]:>10.1f}  (new, not gated)")
+    for name, ratio in improvements:
+        print(f"note: {name} improved {ratio:.2f}x — consider --update")
+
+    ok = True
+    if missing:
+        ok = False
+        for name in missing:
+            print(f"ERROR: baseline benchmark missing from run: {name}")
+    if regressions:
+        ok = False
+        for name, ratio in regressions:
+            print(f"ERROR: {name} regressed {ratio:.2f}x "
+                  f"(tolerance {1.0 + args.tolerance:.2f}x)")
+    print("PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,10 @@
 #include "src/core/format.h"
 
-#include <bit>
 #include <cmath>
 #include <cstdint>
+
+#include "src/core/kernels_internal.h"
+#include "src/core/simd.h"
 
 namespace refloat::core {
 
@@ -80,25 +82,7 @@ double round_at(double v, int exponent, int f_bits) {
   return std::nearbyint(v / step) * step;
 }
 
-// Biased exponent field of the IEEE double: 0 = zero/denormal,
-// 0x7ff = inf/nan, otherwise true exponent + 1023.
-inline int exponent_field(double v) {
-  return static_cast<int>((std::bit_cast<std::uint64_t>(v) >> 52) & 0x7ff);
-}
-
-// 2^n built from the bit pattern — only valid for n in [-1022, 1023]
-// (normal range), which quantize_span guards up front.
-inline double pow2(int n) {
-  return std::bit_cast<double>(static_cast<std::uint64_t>(1023 + n) << 52);
-}
-
-// nearbyint for |x| < 2^51 in the default round-to-nearest-even mode: the
-// classic add-then-subtract of 2^52 forces the fraction out of the
-// significand, rounding ties to even exactly like the libm call.
-inline double round_even_small(double x) {
-  constexpr double kMagic = 0x1.0p52;
-  return x >= 0.0 ? (x + kMagic) - kMagic : (x - kMagic) + kMagic;
-}
+using detail::exponent_field;
 
 }  // namespace
 
@@ -215,7 +199,6 @@ void quantize_span(std::span<const double> x, int base, int e_bits,
   int lo = 0;
   int hi = 0;
   window_bounds(base, e_bits, policy.window, &lo, &hi);
-  const bool gradual = policy.underflow == UnderflowMode::kDenormalize;
   // The fast path needs every 2^(grid +- f) in the normal range and the
   // scaled mantissa below 2^52 (where the magic-constant rounding is
   // exact). Outside that — extreme bases, f = 52 formats — take the exact
@@ -226,38 +209,19 @@ void quantize_span(std::span<const double> x, int base, int e_bits,
     }
     return;
   }
-  const double ceiling = std::ldexp(2.0, hi);
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double v = x[i];
-    if (v == 0.0) {  // preserves signed zero, like quantize_value
-      out[i] = v;
-      continue;
-    }
-    const int field = exponent_field(v);
-    const int exponent = field - 1023;
-    // Denormals, inf/nan, overflow, and non-gradual underflow delegate to
-    // the exact scalar semantics (all rare in solver vectors).
-    if (field == 0 || field == 0x7ff || exponent > hi ||
-        (exponent < lo && !gradual)) {
-      out[i] = quantize_value(v, base, e_bits, f_bits, policy, nullptr);
-      continue;
-    }
-    // In-window values round on their own binade's f-bit grid; gradual
-    // underflow rounds on the window floor's grid — one shared expression.
-    const int grid = exponent < lo ? lo : exponent;
-    double q =
-        round_even_small(v * pow2(f_bits - grid)) * pow2(grid - f_bits);
-    // The magic-constant rounding returns +0.0 where nearbyint returns
-    // -0.0; restore the signed zero quantize_value produces.
-    if (q == 0.0) q = std::copysign(0.0, v);
-    if (std::abs(q) >= ceiling) {
-      // Mantissa carried past the window ceiling: saturate via the scalar
-      // path so the result stays bit-identical to quantize_value.
-      out[i] = quantize_value(v, base, e_bits, f_bits, policy, nullptr);
-      continue;
-    }
-    out[i] = q;
-  }
+  // The per-element loop lives in the SIMD kernel table (kernels_*.cc) —
+  // scalar reference, AVX2, or NEON per the active dispatch — all
+  // bit-identical to calling quantize_value element-wise.
+  QuantSpanArgs args;
+  args.base = base;
+  args.e_bits = e_bits;
+  args.f_bits = f_bits;
+  args.lo = lo;
+  args.hi = hi;
+  args.gradual = policy.underflow == UnderflowMode::kDenormalize;
+  args.ceiling = std::ldexp(2.0, hi);
+  args.policy = &policy;
+  sweep_kernels().quantize_span_fast(x.data(), x.size(), args, out.data());
 }
 
 double quantize_scalar(double v, int e_bits, int f_bits, QuantTally* tally) {

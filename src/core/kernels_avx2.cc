@@ -1,0 +1,275 @@
+// AVX2 implementations of the sweep kernel table (x86-64 only; this TU is
+// compiled with -mavx2 -ffp-contract=off and its functions execute only
+// after cpuid reports AVX2).
+//
+// Bit-identity discipline — every kernel reproduces the scalar reference
+// exactly:
+//   * multiplies use _mm256_mul_pd and adds _mm256_add_pd, never an FMA —
+//     fusing would skip the intermediate rounding the scalar path performs;
+//   * per output slot, operations land in the same order the scalar loop
+//     issues them (the single-RHS sweep vectorizes only the gather/multiply
+//     and keeps the y accumulation serial in entry order, because two
+//     entries of one vector may hit the same output row);
+//   * remainder tails run the scalar reference loops from
+//     kernels_scalar.cc (same -ffp-contract=off TU discipline).
+#include "src/core/simd.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <climits>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/core/format.h"
+#include "src/core/kernels_internal.h"
+#include "src/core/spmv_plan.h"
+
+namespace refloat::core {
+
+namespace {
+
+// The int32 gather index build assumes global columns fit in int32; every
+// plan the generators or a MatrixMarket load can produce does (the int16
+// in-block coordinates already cap b, and a > 2^31-column matrix would
+// not fit one host arena). Checked per block-row, falling back to scalar.
+bool fits_int32(const SpmvPlan& plan) {
+  return plan.cols <= INT_MAX && plan.rows <= INT_MAX;
+}
+
+void spmv_block_row_avx2(const SpmvPlan& plan, std::size_t br,
+                         const double* __restrict__ x,
+                         double* __restrict__ y) {
+  const std::int16_t* __restrict__ erow = plan.entry_row.data();
+  const std::int16_t* __restrict__ ecol = plan.entry_col.data();
+  const double* __restrict__ eval = plan.entry_value.data();
+  if (!fits_int32(plan)) {
+    scalar_sweep_kernels()->spmv_block_row(plan, br, x, y);
+    return;
+  }
+  alignas(32) double prod[8];
+  for (std::size_t j = plan.block_ptr[br]; j < plan.block_ptr[br + 1]; ++j) {
+    detail::prefetch_next_block(plan, j + 1, x);
+    const std::size_t r0 = static_cast<std::size_t>(plan.row0[j]);
+    const std::size_t c0 = static_cast<std::size_t>(plan.col0[j]);
+    const std::size_t end = plan.entry_ptr[j + 1];
+    std::size_t e = plan.entry_ptr[j];
+    const __m128i vc0 = _mm_set1_epi32(static_cast<int>(c0));
+    // Masked gather with an explicit zero source: same instruction count,
+    // and it sidesteps GCC 12's -Wmaybe-uninitialized false positive on
+    // the plain gather's undefined pass-through operand.
+    const __m256d gather_all =
+        _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+    // Vectorize the gather + multiply; the products are bit-equal to the
+    // scalar ones (independent IEEE multiplies), then accumulate into y
+    // serially in entry order — entries within a vector may share a row.
+    // Two independent gather chains per iteration so the second gather's
+    // latency overlaps the first chain's serial adds.
+    for (; e + 8 <= end; e += 8) {
+      const __m128i c16a = _mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(ecol + e));
+      const __m128i c16b = _mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(ecol + e + 4));
+      const __m128i c32a = _mm_add_epi32(_mm_cvtepi16_epi32(c16a), vc0);
+      const __m128i c32b = _mm_add_epi32(_mm_cvtepi16_epi32(c16b), vc0);
+      const __m256d xva = _mm256_mask_i32gather_pd(_mm256_setzero_pd(), x,
+                                                   c32a, gather_all, 8);
+      const __m256d xvb = _mm256_mask_i32gather_pd(_mm256_setzero_pd(), x,
+                                                   c32b, gather_all, 8);
+      _mm256_store_pd(prod, _mm256_mul_pd(_mm256_loadu_pd(eval + e), xva));
+      _mm256_store_pd(prod + 4,
+                      _mm256_mul_pd(_mm256_loadu_pd(eval + e + 4), xvb));
+      y[r0 + static_cast<std::size_t>(erow[e + 0])] += prod[0];
+      y[r0 + static_cast<std::size_t>(erow[e + 1])] += prod[1];
+      y[r0 + static_cast<std::size_t>(erow[e + 2])] += prod[2];
+      y[r0 + static_cast<std::size_t>(erow[e + 3])] += prod[3];
+      y[r0 + static_cast<std::size_t>(erow[e + 4])] += prod[4];
+      y[r0 + static_cast<std::size_t>(erow[e + 5])] += prod[5];
+      y[r0 + static_cast<std::size_t>(erow[e + 6])] += prod[6];
+      y[r0 + static_cast<std::size_t>(erow[e + 7])] += prod[7];
+    }
+    for (; e + 4 <= end; e += 4) {
+      const __m128i c16 = _mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(ecol + e));
+      const __m128i c32 = _mm_add_epi32(_mm_cvtepi16_epi32(c16), vc0);
+      const __m256d xv = _mm256_mask_i32gather_pd(_mm256_setzero_pd(), x,
+                                                  c32, gather_all, 8);
+      const __m256d vv = _mm256_loadu_pd(eval + e);
+      _mm256_store_pd(prod, _mm256_mul_pd(vv, xv));
+      y[r0 + static_cast<std::size_t>(erow[e + 0])] += prod[0];
+      y[r0 + static_cast<std::size_t>(erow[e + 1])] += prod[1];
+      y[r0 + static_cast<std::size_t>(erow[e + 2])] += prod[2];
+      y[r0 + static_cast<std::size_t>(erow[e + 3])] += prod[3];
+    }
+    for (; e < end; ++e) {
+      y[r0 + static_cast<std::size_t>(erow[e])] +=
+          eval[e] * x[c0 + static_cast<std::size_t>(ecol[e])];
+    }
+  }
+}
+
+// K-wide interleaved batch sweep: ys[0..K) += v * xs[0..K) maps K directly
+// onto 256-bit lanes (K/4 vectors per entry). Each output slot sees one
+// mul and one add per entry in entry order — the scalar order exactly.
+template <std::size_t K>
+void spmm_block_row_avx2_fixed(const SpmvPlan& plan, std::size_t br,
+                               const double* __restrict__ x,
+                               double* __restrict__ y) {
+  static_assert(K % 4 == 0);
+  const std::int16_t* __restrict__ erow = plan.entry_row.data();
+  const std::int16_t* __restrict__ ecol = plan.entry_col.data();
+  const double* __restrict__ eval = plan.entry_value.data();
+  for (std::size_t j = plan.block_ptr[br]; j < plan.block_ptr[br + 1]; ++j) {
+    detail::prefetch_next_block(plan, j + 1, x, K);
+    const std::size_t r0 = static_cast<std::size_t>(plan.row0[j]);
+    const std::size_t c0 = static_cast<std::size_t>(plan.col0[j]);
+    const std::size_t end = plan.entry_ptr[j + 1];
+    for (std::size_t e = plan.entry_ptr[j]; e < end; ++e) {
+      const __m256d v = _mm256_broadcast_sd(eval + e);
+      const double* __restrict__ xs =
+          x + (c0 + static_cast<std::size_t>(ecol[e])) * K;
+      double* __restrict__ ys =
+          y + (r0 + static_cast<std::size_t>(erow[e])) * K;
+      for (std::size_t col = 0; col < K; col += 4) {
+        const __m256d prod = _mm256_mul_pd(v, _mm256_loadu_pd(xs + col));
+        _mm256_storeu_pd(ys + col,
+                         _mm256_add_pd(_mm256_loadu_pd(ys + col), prod));
+      }
+    }
+  }
+}
+
+// K=2 uses one SSE2 128-bit lane (AVX2 implies SSE2).
+void spmm_block_row_avx2_k2(const SpmvPlan& plan, std::size_t br,
+                            const double* __restrict__ x,
+                            double* __restrict__ y) {
+  const std::int16_t* __restrict__ erow = plan.entry_row.data();
+  const std::int16_t* __restrict__ ecol = plan.entry_col.data();
+  const double* __restrict__ eval = plan.entry_value.data();
+  for (std::size_t j = plan.block_ptr[br]; j < plan.block_ptr[br + 1]; ++j) {
+    detail::prefetch_next_block(plan, j + 1, x, 2);
+    const std::size_t r0 = static_cast<std::size_t>(plan.row0[j]);
+    const std::size_t c0 = static_cast<std::size_t>(plan.col0[j]);
+    const std::size_t end = plan.entry_ptr[j + 1];
+    for (std::size_t e = plan.entry_ptr[j]; e < end; ++e) {
+      const __m128d v = _mm_set1_pd(eval[e]);
+      const double* xs = x + (c0 + static_cast<std::size_t>(ecol[e])) * 2;
+      double* ys = y + (r0 + static_cast<std::size_t>(erow[e])) * 2;
+      const __m128d prod = _mm_mul_pd(v, _mm_loadu_pd(xs));
+      _mm_storeu_pd(ys, _mm_add_pd(_mm_loadu_pd(ys), prod));
+    }
+  }
+}
+
+void spmm_block_row_avx2(const SpmvPlan& plan, std::size_t br, std::size_t k,
+                         const double* __restrict__ x,
+                         double* __restrict__ y) {
+  switch (k) {
+    case 2: return spmm_block_row_avx2_k2(plan, br, x, y);
+    case 4: return spmm_block_row_avx2_fixed<4>(plan, br, x, y);
+    case 8: return spmm_block_row_avx2_fixed<8>(plan, br, x, y);
+    case 16: return spmm_block_row_avx2_fixed<16>(plan, br, x, y);
+    default:
+      // Generic widths take the scalar loop (they are off every paper
+      // path; the fixed-K dispatch is the contract the tests pin).
+      return scalar_sweep_kernels()->spmm_block_row(plan, br, k, x, y);
+  }
+}
+
+// Four-lane quantize_span fast path. Lane classification, grid selection,
+// and the scale factors are integer ops on the IEEE bit patterns; the FP
+// sequence per lane is exactly the scalar fast path's
+//   round_even_small(v * 2^(f-grid)) * 2^(grid-f)
+// (the sign-folded magic constant computes (x - M) + M for negative x as
+// (x + (-M)) - (-M), which is the identical IEEE operation sequence).
+// Rare lanes — zeros, denormals, inf/nan, overflow, non-gradual underflow,
+// post-round ceiling carries — are patched with the exact quantize_value.
+void quantize_span_fast_avx2(const double* x, std::size_t n,
+                             const QuantSpanArgs& args, double* out) {
+  const __m256i k7ff = _mm256_set1_epi64x(0x7ff);
+  const __m256i field_lo = _mm256_set1_epi64x(args.lo + 1023);
+  const __m256i field_hi = _mm256_set1_epi64x(args.hi + 1023);
+  const __m256i s1_bias = _mm256_set1_epi64x(2046 + args.f_bits);
+  const __m256i s2_bias = _mm256_set1_epi64x(args.f_bits);
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  const __m256d magic = _mm256_set1_pd(0x1.0p52);
+  const __m256d ceiling = _mm256_set1_pd(args.ceiling);
+  const __m256d zero = _mm256_setzero_pd();
+
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(x + i);
+    const __m256i bits = _mm256_castpd_si256(v);
+    const __m256i field =
+        _mm256_and_si256(_mm256_srli_epi64(bits, 52), k7ff);
+    // Lanes that must take the exact path: zero/denormal (field 0),
+    // inf/nan (field 0x7ff), above the window, or (without gradual
+    // underflow) below it. Field values are tiny positives, so signed
+    // 64-bit compares are safe.
+    __m256i fallback = _mm256_or_si256(
+        _mm256_cmpeq_epi64(field, _mm256_setzero_si256()),
+        _mm256_cmpeq_epi64(field, k7ff));
+    fallback =
+        _mm256_or_si256(fallback, _mm256_cmpgt_epi64(field, field_hi));
+    const __m256i below = _mm256_cmpgt_epi64(field_lo, field);
+    if (!args.gradual) fallback = _mm256_or_si256(fallback, below);
+    // grid = max(exponent, lo) — gradual-underflow lanes round on the
+    // window floor's grid, in-window lanes on their own binade's.
+    const __m256i gridf = _mm256_blendv_epi8(field, field_lo, below);
+    // scale1 = 2^(f - grid): biased exponent 1023 + f - (gridf - 1023).
+    const __m256d scale1 = _mm256_castsi256_pd(
+        _mm256_slli_epi64(_mm256_sub_epi64(s1_bias, gridf), 52));
+    // scale2 = 2^(grid - f): biased exponent gridf - f.
+    const __m256d scale2 = _mm256_castsi256_pd(
+        _mm256_slli_epi64(_mm256_sub_epi64(gridf, s2_bias), 52));
+    const __m256d t = _mm256_mul_pd(v, scale1);
+    const __m256d signed_magic =
+        _mm256_or_pd(magic, _mm256_and_pd(v, sign_mask));
+    const __m256d rounded =
+        _mm256_sub_pd(_mm256_add_pd(t, signed_magic), signed_magic);
+    __m256d q = _mm256_mul_pd(rounded, scale2);
+    // Restore the signed zero quantize_value produces where rounding hit 0.
+    const __m256d hit_zero = _mm256_cmp_pd(q, zero, _CMP_EQ_OQ);
+    q = _mm256_blendv_pd(q, _mm256_or_pd(q, _mm256_and_pd(v, sign_mask)),
+                         hit_zero);
+    // Post-round ceiling carries saturate via the exact path.
+    const __m256d overflow = _mm256_cmp_pd(
+        _mm256_andnot_pd(sign_mask, q), ceiling, _CMP_GE_OQ);
+    _mm256_storeu_pd(out + i, q);
+    const int patch = _mm256_movemask_pd(_mm256_castsi256_pd(fallback)) |
+                      _mm256_movemask_pd(overflow);
+    if (patch != 0) {
+      for (int lane = 0; lane < 4; ++lane) {
+        if ((patch >> lane) & 1) {
+          out[i + static_cast<std::size_t>(lane)] = quantize_value(
+              x[i + static_cast<std::size_t>(lane)], args.base, args.e_bits,
+              args.f_bits, *args.policy, nullptr);
+        }
+      }
+    }
+  }
+  if (i < n) quantize_span_fast_scalar(x + i, n - i, args, out + i);
+}
+
+}  // namespace
+
+const SweepKernels* avx2_sweep_kernels() {
+  static const SweepKernels kTable = {
+      &spmv_block_row_avx2,
+      &spmm_block_row_avx2,
+      &quantize_span_fast_avx2,
+  };
+  return &kTable;
+}
+
+}  // namespace refloat::core
+
+#else  // !x86-64
+
+namespace refloat::core {
+const SweepKernels* avx2_sweep_kernels() { return nullptr; }
+}  // namespace refloat::core
+
+#endif

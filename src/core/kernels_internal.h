@@ -1,0 +1,70 @@
+// Shared internals of the SIMD kernel TUs (kernels_scalar.cc,
+// kernels_avx2.cc, kernels_neon.cc) and format.cc: IEEE bit-pattern
+// helpers and the prefetch policy. Not part of the public core/ API.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/core/spmv_plan.h"
+
+namespace refloat::core {
+
+struct SweepKernels;
+struct QuantSpanArgs;
+
+// Per-ISA table factories. Each lives in its own TU so the vector ones can
+// be compiled with their target flags; an ISA the build cannot target
+// returns nullptr and dispatch never offers it.
+const SweepKernels* scalar_sweep_kernels();
+const SweepKernels* avx2_sweep_kernels();
+const SweepKernels* neon_sweep_kernels();
+
+// Scalar reference loops reused by the vector TUs for remainder tails
+// (same TU-level -ffp-contract=off semantics, so tails stay bit-identical).
+void quantize_span_fast_scalar(const double* x, std::size_t n,
+                               const QuantSpanArgs& args, double* out);
+
+}  // namespace refloat::core
+
+namespace refloat::core::detail {
+
+// Biased exponent field of the IEEE double: 0 = zero/denormal,
+// 0x7ff = inf/nan, otherwise true exponent + 1023.
+inline int exponent_field(double v) {
+  return static_cast<int>((std::bit_cast<std::uint64_t>(v) >> 52) & 0x7ff);
+}
+
+// 2^n built from the bit pattern — only valid for n in [-1022, 1023]
+// (normal range), which quantize_span guards up front.
+inline double pow2(int n) {
+  return std::bit_cast<double>(static_cast<std::uint64_t>(1023 + n) << 52);
+}
+
+// nearbyint for |x| < 2^51 in the default round-to-nearest-even mode: the
+// classic add-then-subtract of 2^52 forces the fraction out of the
+// significand, rounding ties to even exactly like the libm call.
+inline double round_even_small(double x) {
+  constexpr double kMagic = 0x1.0p52;
+  return x >= 0.0 ? (x + kMagic) - kMagic : (x - kMagic) + kMagic;
+}
+
+// Prefetch the head of block j_next's arena span and operand segment, one
+// block ahead of the sweep. A 128x128 suite block averages a few hundred
+// entries (~1-3 us of mul/add work), comfortably above the ~100 ns DRAM
+// fetch this hides; smaller blocks still win because the arena spans are
+// contiguous and the touched lines are consumed either way. Read-only
+// (rw=0) with moderate temporal locality.
+inline void prefetch_next_block(const SpmvPlan& plan, std::size_t j_next,
+                                const double* x, std::size_t k = 1) {
+  if (j_next >= plan.num_blocks()) return;
+  const std::size_t e0 = plan.entry_ptr[j_next];
+  __builtin_prefetch(plan.entry_value.data() + e0, 0, 2);
+  __builtin_prefetch(plan.entry_row.data() + e0, 0, 2);
+  __builtin_prefetch(plan.entry_col.data() + e0, 0, 2);
+  __builtin_prefetch(x + static_cast<std::size_t>(plan.col0[j_next]) * k, 0,
+                     2);
+}
+
+}  // namespace refloat::core::detail

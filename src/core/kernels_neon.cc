@@ -1,0 +1,151 @@
+// NEON (aarch64) implementations of the sweep kernel table, compiled only
+// on aarch64 targets (AdvSIMD is baseline there — no extra flags needed).
+//
+// Same bit-identity discipline as kernels_avx2.cc: vmulq_f64/vaddq_f64
+// pairs, never vfmaq_f64, per-output-slot operation order identical to the
+// scalar reference, tails via the scalar loops. The single-RHS sweep stays
+// scalar: NEON has no gather, and the in-block accumulate is bound by the
+// serial y-dependency the bit-identity contract imposes — the wins here
+// are the K-wide interleaved batch sweep (K doubles map onto K/2 128-bit
+// lanes) and the quantize fast path.
+#include "src/core/simd.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/core/format.h"
+#include "src/core/kernels_internal.h"
+#include "src/core/spmv_plan.h"
+
+namespace refloat::core {
+
+namespace {
+
+void spmv_block_row_neon(const SpmvPlan& plan, std::size_t br,
+                         const double* x, double* y) {
+  scalar_sweep_kernels()->spmv_block_row(plan, br, x, y);
+}
+
+template <std::size_t K>
+void spmm_block_row_neon_fixed(const SpmvPlan& plan, std::size_t br,
+                               const double* __restrict__ x,
+                               double* __restrict__ y) {
+  static_assert(K % 2 == 0);
+  const std::int16_t* __restrict__ erow = plan.entry_row.data();
+  const std::int16_t* __restrict__ ecol = plan.entry_col.data();
+  const double* __restrict__ eval = plan.entry_value.data();
+  for (std::size_t j = plan.block_ptr[br]; j < plan.block_ptr[br + 1]; ++j) {
+    detail::prefetch_next_block(plan, j + 1, x, K);
+    const std::size_t r0 = static_cast<std::size_t>(plan.row0[j]);
+    const std::size_t c0 = static_cast<std::size_t>(plan.col0[j]);
+    const std::size_t end = plan.entry_ptr[j + 1];
+    for (std::size_t e = plan.entry_ptr[j]; e < end; ++e) {
+      const float64x2_t v = vdupq_n_f64(eval[e]);
+      const double* __restrict__ xs =
+          x + (c0 + static_cast<std::size_t>(ecol[e])) * K;
+      double* __restrict__ ys =
+          y + (r0 + static_cast<std::size_t>(erow[e])) * K;
+      for (std::size_t col = 0; col < K; col += 2) {
+        const float64x2_t prod = vmulq_f64(v, vld1q_f64(xs + col));
+        vst1q_f64(ys + col, vaddq_f64(vld1q_f64(ys + col), prod));
+      }
+    }
+  }
+}
+
+void spmm_block_row_neon(const SpmvPlan& plan, std::size_t br, std::size_t k,
+                         const double* __restrict__ x,
+                         double* __restrict__ y) {
+  switch (k) {
+    case 2: return spmm_block_row_neon_fixed<2>(plan, br, x, y);
+    case 4: return spmm_block_row_neon_fixed<4>(plan, br, x, y);
+    case 8: return spmm_block_row_neon_fixed<8>(plan, br, x, y);
+    case 16: return spmm_block_row_neon_fixed<16>(plan, br, x, y);
+    default:
+      return scalar_sweep_kernels()->spmm_block_row(plan, br, k, x, y);
+  }
+}
+
+// Two-lane quantize_span fast path; mirrors the AVX2 lane logic (see
+// kernels_avx2.cc for the derivation of the scale exponents and the
+// sign-folded magic rounding).
+void quantize_span_fast_neon(const double* x, std::size_t n,
+                             const QuantSpanArgs& args, double* out) {
+  const int64x2_t k7ff = vdupq_n_s64(0x7ff);
+  const int64x2_t field_lo = vdupq_n_s64(args.lo + 1023);
+  const int64x2_t field_hi = vdupq_n_s64(args.hi + 1023);
+  const int64x2_t s1_bias = vdupq_n_s64(2046 + args.f_bits);
+  const int64x2_t s2_bias = vdupq_n_s64(args.f_bits);
+  const uint64x2_t sign_mask = vdupq_n_u64(0x8000000000000000ULL);
+  const float64x2_t magic = vdupq_n_f64(0x1.0p52);
+  const float64x2_t ceiling = vdupq_n_f64(args.ceiling);
+  const float64x2_t zero = vdupq_n_f64(0.0);
+
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t v = vld1q_f64(x + i);
+    const uint64x2_t bits = vreinterpretq_u64_f64(v);
+    const int64x2_t field = vandq_s64(
+        vreinterpretq_s64_u64(vshrq_n_u64(bits, 52)),
+        k7ff);
+    uint64x2_t fallback = vorrq_u64(
+        vceqq_s64(field, vdupq_n_s64(0)), vceqq_s64(field, k7ff));
+    fallback = vorrq_u64(fallback, vcgtq_s64(field, field_hi));
+    const uint64x2_t below = vcgtq_s64(field_lo, field);
+    if (!args.gradual) fallback = vorrq_u64(fallback, below);
+    const int64x2_t gridf = vbslq_s64(below, field_lo, field);
+    const float64x2_t scale1 = vreinterpretq_f64_s64(
+        vshlq_n_s64(vsubq_s64(s1_bias, gridf), 52));
+    const float64x2_t scale2 = vreinterpretq_f64_s64(
+        vshlq_n_s64(vsubq_s64(gridf, s2_bias), 52));
+    const float64x2_t t = vmulq_f64(v, scale1);
+    const float64x2_t signed_magic = vreinterpretq_f64_u64(
+        vorrq_u64(vreinterpretq_u64_f64(magic), vandq_u64(bits, sign_mask)));
+    const float64x2_t rounded =
+        vsubq_f64(vaddq_f64(t, signed_magic), signed_magic);
+    float64x2_t q = vmulq_f64(rounded, scale2);
+    const uint64x2_t hit_zero = vceqq_f64(q, zero);
+    const float64x2_t q_signed = vreinterpretq_f64_u64(vorrq_u64(
+        vreinterpretq_u64_f64(q), vandq_u64(bits, sign_mask)));
+    q = vbslq_f64(hit_zero, q_signed, q);
+    const uint64x2_t overflow = vcgeq_f64(vabsq_f64(q), ceiling);
+    vst1q_f64(out + i, q);
+    const uint64x2_t patch = vorrq_u64(fallback, overflow);
+    if ((vgetq_lane_u64(patch, 0) | vgetq_lane_u64(patch, 1)) != 0) {
+      if (vgetq_lane_u64(patch, 0) != 0) {
+        out[i] = quantize_value(x[i], args.base, args.e_bits, args.f_bits,
+                                *args.policy, nullptr);
+      }
+      if (vgetq_lane_u64(patch, 1) != 0) {
+        out[i + 1] = quantize_value(x[i + 1], args.base, args.e_bits,
+                                    args.f_bits, *args.policy, nullptr);
+      }
+    }
+  }
+  if (i < n) quantize_span_fast_scalar(x + i, n - i, args, out + i);
+}
+
+}  // namespace
+
+const SweepKernels* neon_sweep_kernels() {
+  static const SweepKernels kTable = {
+      &spmv_block_row_neon,
+      &spmm_block_row_neon,
+      &quantize_span_fast_neon,
+  };
+  return &kTable;
+}
+
+}  // namespace refloat::core
+
+#else  // !aarch64
+
+namespace refloat::core {
+const SweepKernels* neon_sweep_kernels() { return nullptr; }
+}  // namespace refloat::core
+
+#endif

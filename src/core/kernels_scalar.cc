@@ -1,0 +1,147 @@
+// Scalar reference implementations of the sweep kernel table. This TU is
+// compiled with -ffp-contract=off (see CMakeLists): its mul-then-add
+// rounding IS the pinned semantics every vector ISA must reproduce
+// bit-for-bit, so the compiler may never contract a*b+c into an FMA here —
+// not even under -march=native Release builds.
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/core/format.h"
+#include "src/core/kernels_internal.h"
+#include "src/core/simd.h"
+#include "src/core/spmv_plan.h"
+
+namespace refloat::core {
+
+namespace {
+
+// One block-row's worth of plan-SpMV. Raw __restrict__ pointers encode the
+// caller contract the spans cannot: the output never aliases the arena or
+// the quantized input, so the compiler may keep arena reads in registers
+// across y writes instead of reloading them every iteration.
+void spmv_block_row_scalar(const SpmvPlan& plan, std::size_t br,
+                           const double* __restrict__ x,
+                           double* __restrict__ y) {
+  const std::int16_t* __restrict__ erow = plan.entry_row.data();
+  const std::int16_t* __restrict__ ecol = plan.entry_col.data();
+  const double* __restrict__ eval = plan.entry_value.data();
+  for (std::size_t j = plan.block_ptr[br]; j < plan.block_ptr[br + 1]; ++j) {
+    detail::prefetch_next_block(plan, j + 1, x);
+    const std::size_t r0 = static_cast<std::size_t>(plan.row0[j]);
+    const std::size_t c0 = static_cast<std::size_t>(plan.col0[j]);
+    const std::size_t end = plan.entry_ptr[j + 1];
+    for (std::size_t e = plan.entry_ptr[j]; e < end; ++e) {
+      y[r0 + static_cast<std::size_t>(erow[e])] +=
+          eval[e] * x[c0 + static_cast<std::size_t>(ecol[e])];
+    }
+  }
+}
+
+// Batched block-row sweep with a compile-time batch width: the fixed K lets
+// the compiler fully unroll the per-entry column loop, which is where the
+// SpMM throughput win over K sequential SpMVs comes from. Operands are
+// row-major interleaved (slot i*K + column).
+template <std::size_t K>
+void spmm_block_row_fixed(const SpmvPlan& plan, std::size_t br,
+                          const double* __restrict__ x,
+                          double* __restrict__ y) {
+  const std::int16_t* __restrict__ erow = plan.entry_row.data();
+  const std::int16_t* __restrict__ ecol = plan.entry_col.data();
+  const double* __restrict__ eval = plan.entry_value.data();
+  for (std::size_t j = plan.block_ptr[br]; j < plan.block_ptr[br + 1]; ++j) {
+    detail::prefetch_next_block(plan, j + 1, x, K);
+    const std::size_t r0 = static_cast<std::size_t>(plan.row0[j]);
+    const std::size_t c0 = static_cast<std::size_t>(plan.col0[j]);
+    const std::size_t end = plan.entry_ptr[j + 1];
+    for (std::size_t e = plan.entry_ptr[j]; e < end; ++e) {
+      const double v = eval[e];
+      const double* __restrict__ xs =
+          x + (c0 + static_cast<std::size_t>(ecol[e])) * K;
+      double* __restrict__ ys =
+          y + (r0 + static_cast<std::size_t>(erow[e])) * K;
+      for (std::size_t col = 0; col < K; ++col) ys[col] += v * xs[col];
+    }
+  }
+}
+
+void spmm_block_row_scalar(const SpmvPlan& plan, std::size_t br,
+                           std::size_t k, const double* __restrict__ x,
+                           double* __restrict__ y) {
+  switch (k) {
+    case 2: return spmm_block_row_fixed<2>(plan, br, x, y);
+    case 4: return spmm_block_row_fixed<4>(plan, br, x, y);
+    case 8: return spmm_block_row_fixed<8>(plan, br, x, y);
+    case 16: return spmm_block_row_fixed<16>(plan, br, x, y);
+    default: break;
+  }
+  const std::int16_t* __restrict__ erow = plan.entry_row.data();
+  const std::int16_t* __restrict__ ecol = plan.entry_col.data();
+  const double* __restrict__ eval = plan.entry_value.data();
+  for (std::size_t j = plan.block_ptr[br]; j < plan.block_ptr[br + 1]; ++j) {
+    detail::prefetch_next_block(plan, j + 1, x, k);
+    const std::size_t r0 = static_cast<std::size_t>(plan.row0[j]);
+    const std::size_t c0 = static_cast<std::size_t>(plan.col0[j]);
+    const std::size_t end = plan.entry_ptr[j + 1];
+    for (std::size_t e = plan.entry_ptr[j]; e < end; ++e) {
+      const double v = eval[e];
+      const double* xs = x + (c0 + static_cast<std::size_t>(ecol[e])) * k;
+      double* ys = y + (r0 + static_cast<std::size_t>(erow[e])) * k;
+      for (std::size_t col = 0; col < k; ++col) ys[col] += v * xs[col];
+    }
+  }
+}
+
+}  // namespace
+
+// The in-window quantization fast path (see quantize_span in format.cc for
+// the guard that gets here): normal values round on their own binade's
+// f-bit grid, gradual underflow on the window floor's grid, everything
+// rare (zeros, denormals, inf/nan, overflow, non-gradual underflow)
+// delegates to the exact quantize_value semantics. Non-static: the vector
+// TUs reuse this for their remainder tails.
+void quantize_span_fast_scalar(const double* x, std::size_t n,
+                               const QuantSpanArgs& args, double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = x[i];
+    if (v == 0.0) {  // preserves signed zero, like quantize_value
+      out[i] = v;
+      continue;
+    }
+    const int field = detail::exponent_field(v);
+    const int exponent = field - 1023;
+    if (field == 0 || field == 0x7ff || exponent > args.hi ||
+        (exponent < args.lo && !args.gradual)) {
+      out[i] = quantize_value(v, args.base, args.e_bits, args.f_bits,
+                              *args.policy, nullptr);
+      continue;
+    }
+    // In-window values round on their own binade's f-bit grid; gradual
+    // underflow rounds on the window floor's grid — one shared expression.
+    const int grid = exponent < args.lo ? args.lo : exponent;
+    double q = detail::round_even_small(v * detail::pow2(args.f_bits - grid)) *
+               detail::pow2(grid - args.f_bits);
+    // The magic-constant rounding returns +0.0 where nearbyint returns
+    // -0.0; restore the signed zero quantize_value produces.
+    if (q == 0.0) q = std::copysign(0.0, v);
+    if (std::abs(q) >= args.ceiling) {
+      // Mantissa carried past the window ceiling: saturate via the scalar
+      // path so the result stays bit-identical to quantize_value.
+      out[i] = quantize_value(v, args.base, args.e_bits, args.f_bits,
+                              *args.policy, nullptr);
+      continue;
+    }
+    out[i] = q;
+  }
+}
+
+const SweepKernels* scalar_sweep_kernels() {
+  static const SweepKernels kTable = {
+      &spmv_block_row_scalar,
+      &spmm_block_row_scalar,
+      &quantize_span_fast_scalar,
+  };
+  return &kTable;
+}
+
+}  // namespace refloat::core

@@ -5,6 +5,7 @@
 #include <map>
 #include <utility>
 
+#include "src/core/simd.h"
 #include "src/sparse/lanczos.h"
 #include "src/sparse/vector_ops.h"
 #include "src/util/thread_pool.h"
@@ -17,77 +18,6 @@ int bits_for_spread(int spread) {
   int bits = 0;
   while ((1 << bits) < spread) ++bits;
   return bits;
-}
-
-// One block-row's worth of plan-SpMV. Raw __restrict__ pointers encode the
-// caller contract the spans cannot: the output never aliases the arena or
-// the quantized input, so the compiler may keep arena reads in registers
-// across y writes instead of reloading them every iteration.
-void spmv_block_row(const SpmvPlan& plan, std::size_t br,
-                    const double* __restrict__ x, double* __restrict__ y) {
-  const std::int16_t* __restrict__ erow = plan.entry_row.data();
-  const std::int16_t* __restrict__ ecol = plan.entry_col.data();
-  const double* __restrict__ eval = plan.entry_value.data();
-  for (std::size_t j = plan.block_ptr[br]; j < plan.block_ptr[br + 1]; ++j) {
-    const std::size_t r0 = static_cast<std::size_t>(plan.row0[j]);
-    const std::size_t c0 = static_cast<std::size_t>(plan.col0[j]);
-    const std::size_t end = plan.entry_ptr[j + 1];
-    for (std::size_t e = plan.entry_ptr[j]; e < end; ++e) {
-      y[r0 + static_cast<std::size_t>(erow[e])] +=
-          eval[e] * x[c0 + static_cast<std::size_t>(ecol[e])];
-    }
-  }
-}
-
-// Batched block-row sweep with a compile-time batch width: the fixed K lets
-// the compiler fully unroll and vectorize the per-entry column loop, which
-// is where the SpMM throughput win over K sequential SpMVs comes from.
-// Operands are row-major interleaved (slot i*K + column).
-template <std::size_t K>
-void spmm_block_row_fixed(const SpmvPlan& plan, std::size_t br,
-                          const double* __restrict__ x,
-                          double* __restrict__ y) {
-  const std::int16_t* __restrict__ erow = plan.entry_row.data();
-  const std::int16_t* __restrict__ ecol = plan.entry_col.data();
-  const double* __restrict__ eval = plan.entry_value.data();
-  for (std::size_t j = plan.block_ptr[br]; j < plan.block_ptr[br + 1]; ++j) {
-    const std::size_t r0 = static_cast<std::size_t>(plan.row0[j]);
-    const std::size_t c0 = static_cast<std::size_t>(plan.col0[j]);
-    const std::size_t end = plan.entry_ptr[j + 1];
-    for (std::size_t e = plan.entry_ptr[j]; e < end; ++e) {
-      const double v = eval[e];
-      const double* __restrict__ xs =
-          x + (c0 + static_cast<std::size_t>(ecol[e])) * K;
-      double* __restrict__ ys =
-          y + (r0 + static_cast<std::size_t>(erow[e])) * K;
-      for (std::size_t col = 0; col < K; ++col) ys[col] += v * xs[col];
-    }
-  }
-}
-
-void spmm_block_row(const SpmvPlan& plan, std::size_t br, std::size_t k,
-                    const double* __restrict__ x, double* __restrict__ y) {
-  switch (k) {
-    case 2: return spmm_block_row_fixed<2>(plan, br, x, y);
-    case 4: return spmm_block_row_fixed<4>(plan, br, x, y);
-    case 8: return spmm_block_row_fixed<8>(plan, br, x, y);
-    case 16: return spmm_block_row_fixed<16>(plan, br, x, y);
-    default: break;
-  }
-  const std::int16_t* __restrict__ erow = plan.entry_row.data();
-  const std::int16_t* __restrict__ ecol = plan.entry_col.data();
-  const double* __restrict__ eval = plan.entry_value.data();
-  for (std::size_t j = plan.block_ptr[br]; j < plan.block_ptr[br + 1]; ++j) {
-    const std::size_t r0 = static_cast<std::size_t>(plan.row0[j]);
-    const std::size_t c0 = static_cast<std::size_t>(plan.col0[j]);
-    const std::size_t end = plan.entry_ptr[j + 1];
-    for (std::size_t e = plan.entry_ptr[j]; e < end; ++e) {
-      const double v = eval[e];
-      const double* xs = x + (c0 + static_cast<std::size_t>(ecol[e])) * k;
-      double* ys = y + (r0 + static_cast<std::size_t>(erow[e])) * k;
-      for (std::size_t col = 0; col < k; ++col) ys[col] += v * xs[col];
-    }
-  }
 }
 
 }  // namespace
@@ -257,10 +187,13 @@ void RefloatMatrix::spmv_refloat(std::span<const double> x,
   }
   // Block-rows write disjoint y ranges and keep the serial (brow, bcol)
   // accumulation order within each range — bit-identical at any thread
-  // count. The walk is one linear sweep of the plan arena per shard.
+  // count and on every SIMD path (the kernels never reorder or fuse the
+  // per-entry multiply-adds). The walk is one linear sweep of the plan
+  // arena per shard.
+  const SweepKernels& kernels = sweep_kernels();
   util::ThreadPool::global().parallel_for(
       plan_.block_rows(), [&](std::size_t br) {
-        spmv_block_row(plan_, br, scratch.data(), y.data());
+        kernels.spmv_block_row(plan_, br, scratch.data(), y.data());
       });
 }
 
@@ -294,10 +227,11 @@ void RefloatMatrix::spmv_refloat_multi(std::span<const double> x,
   // Each block is visited once and applied to all k columns; per column the
   // accumulation order is exactly the single-RHS serial order, so every
   // column is bit-identical to spmv_refloat on that column alone.
+  const SweepKernels& kernels = sweep_kernels();
   util::ThreadPool::global().parallel_for(
       plan_.block_rows(), [&](std::size_t br) {
-        spmm_block_row(plan_, br, k, scratch.x_interleaved.data(),
-                       scratch.y_interleaved.data());
+        kernels.spmm_block_row(plan_, br, k, scratch.x_interleaved.data(),
+                               scratch.y_interleaved.data());
       });
   sparse::deinterleave(scratch.y_interleaved, n_rows, k, y);
 }

@@ -1,0 +1,111 @@
+// ISA detection and kernel-table dispatch (see simd.h for the contract).
+#include "src/core/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/core/kernels_internal.h"
+#include "src/util/log.h"
+
+namespace refloat::core {
+
+namespace {
+
+// -1 = not resolved yet; otherwise a SimdIsa value. Relaxed is enough:
+// every possible table is immutable and valid, so a racing first use at
+// worst resolves twice to the same answer.
+std::atomic<int> g_active_isa{-1};
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+SimdIsa resolve_from_env() {
+  const SimdIsa best = simd_best_supported();
+  const char* env = std::getenv("REFLOAT_SIMD");
+  if (env == nullptr || env[0] == '\0') return best;
+  SimdIsa wanted = best;
+  if (std::strcmp(env, "scalar") == 0) {
+    wanted = SimdIsa::kScalar;
+  } else if (std::strcmp(env, "avx2") == 0) {
+    wanted = SimdIsa::kAvx2;
+  } else if (std::strcmp(env, "neon") == 0) {
+    wanted = SimdIsa::kNeon;
+  } else {
+    RF_LOG_WARN("REFLOAT_SIMD=%s not recognized (avx2|neon|scalar); using %s",
+                env, simd_isa_name(best));
+    return best;
+  }
+  if (!simd_isa_supported(wanted)) {
+    RF_LOG_WARN("REFLOAT_SIMD=%s unsupported on this machine; using %s", env,
+                simd_isa_name(best));
+    return best;
+  }
+  return wanted;
+}
+
+}  // namespace
+
+const char* simd_isa_name(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar: return "scalar";
+    case SimdIsa::kAvx2: return "avx2";
+    case SimdIsa::kNeon: return "neon";
+  }
+  return "scalar";
+}
+
+bool simd_isa_supported(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar: return true;
+    case SimdIsa::kAvx2: return avx2_sweep_kernels() != nullptr &&
+                                cpu_has_avx2();
+    case SimdIsa::kNeon: return neon_sweep_kernels() != nullptr;
+  }
+  return false;
+}
+
+SimdIsa simd_best_supported() {
+  if (simd_isa_supported(SimdIsa::kAvx2)) return SimdIsa::kAvx2;
+  if (simd_isa_supported(SimdIsa::kNeon)) return SimdIsa::kNeon;
+  return SimdIsa::kScalar;
+}
+
+SimdIsa simd_active_isa() {
+  int active = g_active_isa.load(std::memory_order_relaxed);
+  if (active < 0) {
+    active = static_cast<int>(resolve_from_env());
+    g_active_isa.store(active, std::memory_order_relaxed);
+  }
+  return static_cast<SimdIsa>(active);
+}
+
+SimdIsa simd_set_isa(SimdIsa isa) {
+  if (!simd_isa_supported(isa)) isa = simd_best_supported();
+  g_active_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+  return isa;
+}
+
+const SweepKernels& sweep_kernels_for(SimdIsa isa) {
+  // An ISA the build carries but this CPU lacks must also fall back —
+  // handing out the AVX2 table on a pre-AVX2 core would fault at run time.
+  if (!simd_isa_supported(isa)) return *scalar_sweep_kernels();
+  const SweepKernels* table = nullptr;
+  switch (isa) {
+    case SimdIsa::kAvx2: table = avx2_sweep_kernels(); break;
+    case SimdIsa::kNeon: table = neon_sweep_kernels(); break;
+    case SimdIsa::kScalar: break;
+  }
+  return table != nullptr ? *table : *scalar_sweep_kernels();
+}
+
+const SweepKernels& sweep_kernels() {
+  return sweep_kernels_for(simd_active_isa());
+}
+
+}  // namespace refloat::core

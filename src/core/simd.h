@@ -1,0 +1,98 @@
+// Runtime-dispatched SIMD kernels for the SpmvPlan sweeps and the vector
+// quantization fast path.
+//
+// The SoA arena (int16 in-block coordinates + contiguous dequantized
+// values) was laid out so the in-block accumulate could be vectorized;
+// this header is where that happens. Three implementations of the same
+// kernel table exist side by side:
+//
+//   scalar   portable reference, compiled with -ffp-contract=off so its
+//            mul-then-add order is the pinned semantics everywhere
+//            (including -march=native builds, where GCC would otherwise
+//            contract into FMA and change the rounding);
+//   avx2     x86-64, 256-bit lanes (4 doubles), compiled per-TU with
+//            -mavx2 and executed only when cpuid reports AVX2;
+//   neon     aarch64, 128-bit lanes (2 doubles).
+//
+// Every implementation is BIT-IDENTICAL to the scalar reference: vector
+// lanes perform the same IEEE multiply and add per element in the same
+// per-output order, no FMA contraction anywhere (tests/test_simd.cc pins
+// this at 1/2/8 threads). Dispatch is by cpuid at first use, overridable
+// with REFLOAT_SIMD=avx2|neon|scalar (an unsupported request logs a
+// warning and clamps to the best supported ISA).
+#pragma once
+
+#include <cstddef>
+
+namespace refloat::core {
+
+struct SpmvPlan;
+struct QuantPolicy;
+
+enum class SimdIsa {
+  kScalar = 0,
+  kAvx2 = 1,
+  kNeon = 2,
+};
+
+// Short lowercase name ("scalar", "avx2", "neon") — used by REFLOAT_SIMD
+// parsing and by benches describing which path they measured.
+const char* simd_isa_name(SimdIsa isa);
+
+// True when this build can execute `isa` on this machine (compile-time
+// target support AND runtime cpuid).
+bool simd_isa_supported(SimdIsa isa);
+
+// The widest supported ISA (what dispatch picks absent an override).
+SimdIsa simd_best_supported();
+
+// The ISA the kernel table currently dispatches to. Resolved once on first
+// use: REFLOAT_SIMD if set (clamped to supported, with a warning), else
+// simd_best_supported().
+SimdIsa simd_active_isa();
+
+// Forces the active ISA (tests and benches sweeping implementations).
+// Unsupported requests clamp to simd_best_supported(). Returns the ISA
+// actually installed. Not safe to call concurrently with in-flight SpMVs.
+SimdIsa simd_set_isa(SimdIsa isa);
+
+// Precomputed window for the quantize-span fast kernel: everything
+// quantize_span derives once per segment so the per-element loop is pure
+// arithmetic. `policy` backs the exact per-lane fallback (denormals,
+// inf/nan, overflow, non-gradual underflow).
+struct QuantSpanArgs {
+  int base = 0;
+  int e_bits = 0;
+  int f_bits = 0;
+  int lo = 0;          // window floor exponent
+  int hi = 0;          // window ceiling exponent
+  bool gradual = false;  // UnderflowMode::kDenormalize
+  double ceiling = 0.0;  // ldexp(2.0, hi)
+  const QuantPolicy* policy = nullptr;
+};
+
+// One ISA's kernel set. All three sweeps follow the plan's ordering
+// contract (serial (brow, bcol) block order, entry order within a block)
+// so threading and vectorization stay pure scheduling changes.
+struct SweepKernels {
+  // y += A_br x over block-row br (single right-hand side).
+  void (*spmv_block_row)(const SpmvPlan& plan, std::size_t br,
+                         const double* x, double* y);
+  // Row-major interleaved k-RHS sweep (slot i*k + column); k in {2,4,8,16}
+  // runs a fixed-width unrolled kernel, anything else the generic loop.
+  void (*spmm_block_row)(const SpmvPlan& plan, std::size_t br, std::size_t k,
+                         const double* x, double* y);
+  // The in-window fast path of core::quantize_span (exponent-field grids +
+  // 2^52 magic rounding); out-of-path lanes fall back to quantize_value.
+  void (*quantize_span_fast)(const double* x, std::size_t n,
+                             const QuantSpanArgs& args, double* out);
+};
+
+// Kernel table for the active ISA (one relaxed atomic load).
+const SweepKernels& sweep_kernels();
+
+// Kernel table for a specific supported ISA (nullptr members never occur;
+// unsupported ISAs return the scalar table).
+const SweepKernels& sweep_kernels_for(SimdIsa isa);
+
+}  // namespace refloat::core

@@ -1,11 +1,56 @@
 #include "src/util/thread_pool.h"
 
 #include <cstdlib>
+#include <cstring>
 #include <memory>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace refloat::util {
 
 namespace {
+
+enum class AffinityMode { kOff, kCompact, kSpread };
+
+AffinityMode affinity_mode() {
+  const char* env = std::getenv("REFLOAT_AFFINITY");
+  if (env == nullptr) return AffinityMode::kOff;
+  if (std::strcmp(env, "compact") == 0) return AffinityMode::kCompact;
+  if (std::strcmp(env, "spread") == 0) return AffinityMode::kSpread;
+  return AffinityMode::kOff;
+}
+
+// Pins worker `slot` (1-based; slot 0 is the unpinned caller) to one core.
+// compact fills cores from 0 up so neighbouring shards share L2/L3; spread
+// strides slots across the whole core range for bandwidth-bound sweeps.
+// Linux-only; elsewhere (and on sched_setaffinity failure) a no-op — the
+// pool works identically, shards just stay migratable.
+void pin_worker(std::thread& worker, int slot, int total) {
+#if defined(__linux__)
+  const AffinityMode mode = affinity_mode();
+  if (mode == AffinityMode::kOff) return;
+  const unsigned ncpu = std::thread::hardware_concurrency();
+  if (ncpu == 0) return;
+  unsigned cpu = 0;
+  if (mode == AffinityMode::kCompact) {
+    cpu = static_cast<unsigned>(slot) % ncpu;
+  } else {
+    cpu = (static_cast<unsigned>(slot) * ncpu /
+           static_cast<unsigned>(total)) % ncpu;
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  pthread_setaffinity_np(worker.native_handle(), sizeof(set), &set);
+#else
+  (void)worker;
+  (void)slot;
+  (void)total;
+#endif
+}
 
 // Set while the current thread is executing pool work (worker or the
 // participating caller). Nested parallel_for calls from such a thread run
@@ -22,6 +67,7 @@ ThreadPool::ThreadPool(int threads) {
   workers_.reserve(static_cast<std::size_t>(threads - 1));
   for (int i = 0; i < threads - 1; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
+    pin_worker(workers_.back(), i + 1, threads);
   }
 }
 
@@ -124,6 +170,15 @@ ThreadPool& ThreadPool::global() {
 void ThreadPool::set_global_threads(int threads) {
   std::lock_guard<std::mutex> lock(g_global_mutex);
   g_global_pool = std::make_unique<ThreadPool>(threads);
+}
+
+const char* ThreadPool::affinity_mode_name() {
+  switch (affinity_mode()) {
+    case AffinityMode::kCompact: return "compact";
+    case AffinityMode::kSpread: return "spread";
+    case AffinityMode::kOff: break;
+  }
+  return "off";
 }
 
 }  // namespace refloat::util

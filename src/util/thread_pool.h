@@ -10,7 +10,14 @@
 //     range, not by relying on scheduling order;
 //   * re-entrant parallel_for calls (fn itself calling parallel_for) run
 //     inline on the current thread instead of deadlocking;
-//   * fn must not throw — an escaping exception terminates the process.
+//   * fn must not throw — an escaping exception terminates the process;
+//   * $REFLOAT_AFFINITY=compact|spread pins workers to cores (Linux) so
+//     SpMV shards stop migrating mid-sweep and dragging their cached arena
+//     spans across L2s. compact packs workers onto the lowest core ids
+//     (shared caches, small working sets); spread strides them across the
+//     core range (maximum aggregate bandwidth). Default: off. The calling
+//     thread keeps its OS placement — the pool never pins a thread it does
+//     not own.
 #pragma once
 
 #include <atomic>
@@ -51,6 +58,10 @@ class ThreadPool {
   // Replaces the global pool (tests and benches sweeping thread counts).
   // Must not race in-flight parallel work.
   static void set_global_threads(int threads);
+
+  // The affinity policy parsed from $REFLOAT_AFFINITY: "compact", "spread",
+  // or "off" (anything unset/unrecognized). For bench self-description.
+  static const char* affinity_mode_name();
 
  private:
   void worker_loop();
