@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <span>
 #include <string>
 #include <vector>
@@ -346,6 +347,21 @@ int main(int argc, char** argv) {
       "refloat_threads", std::to_string(util::ThreadPool::default_threads()));
   benchmark::AddCustomContext("refloat_affinity",
                               util::ThreadPool::affinity_mode_name());
+  // Tiled execution context: the active tile count ($REFLOAT_TILES) and the
+  // partition balance (max/mean shard nnz) it yields on the representative
+  // 128x128-grid workload the SpMV benchmarks above use.
+  {
+    const sparse::Csr a = make_matrix(128);
+    const core::RefloatMatrix rf(a, core::default_format());
+    const int tiles = core::default_tile_count();
+    const core::TiledPlan tiled =
+        core::TiledPlan::partition(rf.plan(), {.tiles = tiles});
+    benchmark::AddCustomContext("refloat_tiles", std::to_string(tiles));
+    char balance[32];
+    std::snprintf(balance, sizeof(balance), "%.3f",
+                  tiled.stats().balance);
+    benchmark::AddCustomContext("refloat_tile_balance", balance);
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -9,8 +9,11 @@ gates on:
 A benchmark REGRESSES when its time exceeds baseline * (1 + tolerance);
 a benchmark present in the baseline but missing from the run is an error
 (renames must update the baseline deliberately, not silently drop the gate).
-New benchmarks absent from the baseline are reported but never fail — the
-next --update run adopts them.
+Benchmarks absent from the baseline are an error too by default — an entry
+that never enters the baseline is never gated. Pass --allow-new to downgrade
+them to a warning (the PR that introduces a benchmark runs before its
+baseline refresh lands); existing entries are still gated either way, and
+the next --update run adopts the new ones.
 
 Cross-host noise: raw nanoseconds only compare cleanly on the machine that
 produced the baseline. --normalize divides every time by the run's own
@@ -66,6 +69,9 @@ def main():
     ap.add_argument("--normalize", action="store_true",
                     help="divide every time by the run's own 'calibration' "
                          "benchmark before comparing (cross-host runs)")
+    ap.add_argument("--allow-new", action="store_true",
+                    help="warn (instead of fail) on benchmarks absent from "
+                         "the baseline; existing entries are still gated")
     ap.add_argument("--update", action="store_true",
                     help="overwrite the baseline with the current run "
                          "instead of comparing")
@@ -113,6 +119,16 @@ def main():
         ok = False
         for name in missing:
             print(f"ERROR: baseline benchmark missing from run: {name}")
+    if new:
+        if args.allow_new:
+            for name in new:
+                print(f"WARNING: benchmark not in baseline (ungated): {name}")
+            print("note: refresh the baseline with --update to gate them")
+        else:
+            ok = False
+            for name in new:
+                print(f"ERROR: benchmark not in baseline: {name} "
+                      f"(--update the baseline, or pass --allow-new)")
     if regressions:
         ok = False
         for name, ratio in regressions:

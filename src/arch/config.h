@@ -21,9 +21,28 @@ struct AcceleratorConfig {
   // Digital vector unit (dots/axpys between SpMVs).
   long vector_lanes = 128;
   double vector_ns_per_element = 1.0;
+
+  // --- Tiled scale-out (ROADMAP item 2; arXiv 2508.13298 model) ---------
+  // `tiles` modeled ReRAM tiles, EACH owning total_crossbars of compute
+  // ReRAM (scale-out: capacity multiplies with tile count). One shared
+  // host programming stream feeds all tiles; the tiled timing pipelines it
+  // against other tiles' compute (write tile i+1 while tile i computes).
+  int tiles = 1;
+  // Interconnect pricing for input-vector broadcast and partial-output
+  // reduction over a binary tree of tiles (depth ceil(log2(tiles))).
+  double link_latency_ns = 20.0;    // per tree hop
+  double link_gbit_per_s = 128.0;   // per-link bandwidth
+  // Modeled per-tile ECC: each tile can repair up to ecc_correct_cells
+  // stuck-at cell-bits at programming time (the hw/ layer consumes the
+  // same budget functionally) and charges ecc_round_ns of detect/correct
+  // latency per (tile, round). Both default off: tiles=1 with ECC off is
+  // bit- and time-identical to the monolithic model.
+  long long ecc_correct_cells = 0;
+  double ecc_round_ns = 0.0;
 };
 
-// Clusters the chip can hold in this config's format.
+// Clusters one tile can hold in this config's format (the per-tile
+// crossbar-capacity budget the TiledPlan partitioner should respect).
 long long clusters(const AcceleratorConfig& config);
 
 // ReFloat in the given (possibly fv-overridden) format.

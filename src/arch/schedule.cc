@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/arch/cost.h"
+#include "src/arch/timing.h"
 
 namespace refloat::arch {
 
@@ -81,6 +82,96 @@ ScheduleStats simulate_spmv(const AcceleratorConfig& config,
   stats.input_vector_bits = static_cast<long long>(blocks) * side *
                             (1LL + fmt.ev + fmt.fv);
   stats.output_vector_bits = static_cast<long long>(blocks) * side * 64LL;
+  return stats;
+}
+
+ScheduleStats simulate_spmv_tiled(const AcceleratorConfig& config,
+                                  const core::TiledPlan& tiled) {
+  ScheduleStats stats;
+  const core::Format& fmt = config.format;
+  const long long capacity = clusters(config);
+
+  if (tiled.empty()) {
+    // No plan behind the shard index: one idle tile, zero traffic.
+    stats.seconds = static_cast<double>(cycles_per_block_mvm(fmt)) *
+                    config.op_latency_ns * 1e-9;
+    stats.compute_busy_seconds = stats.seconds;
+    stats.tile_rounds.assign(1, 1);
+    stats.tile_utilization.assign(1, 0.0);
+    return stats;
+  }
+
+  const core::SpmvPlan& plan = tiled.plan();
+  const std::vector<std::size_t> blocks_per_tile = tiled.blocks_per_tile();
+  const TiledSpmvTiming timing =
+      tiled_spmm_time(config, blocks_per_tile, plan.rows, 1);
+  stats.seconds = timing.seconds;
+  stats.rounds = timing.rounds;
+  stats.tiles = timing.tiles;
+  stats.broadcast_seconds = timing.broadcast_seconds;
+  stats.reduction_seconds = timing.reduction_seconds;
+  stats.ecc_seconds = timing.ecc_seconds;
+  stats.tile_rounds = timing.tile_rounds;
+
+  // Occupancy and per-tile utilization: a tile's available slots are
+  // capacity * its own round count; overall utilization keeps the untiled
+  // formula at one tile.
+  std::size_t total_blocks = 0;
+  long long total_rounds = 0;
+  stats.tile_utilization.assign(blocks_per_tile.size(), 0.0);
+  for (std::size_t t = 0; t < blocks_per_tile.size(); ++t) {
+    const long r = timing.tile_rounds[t];
+    total_blocks += blocks_per_tile[t];
+    total_rounds += r;
+    if (capacity > 0 && r > 0) {
+      stats.tile_utilization[t] =
+          static_cast<double>(blocks_per_tile[t]) /
+          (static_cast<double>(capacity) * static_cast<double>(r));
+    }
+    if (r > 1) {
+      stats.write_busy_seconds +=
+          static_cast<double>(r) * timing.write_seconds;
+    }
+    stats.compute_busy_seconds +=
+        static_cast<double>(r) * timing.compute_seconds;
+  }
+  stats.cluster_utilization =
+      capacity > 0 && total_rounds > 0
+          ? static_cast<double>(total_blocks) /
+                (static_cast<double>(capacity) *
+                 static_cast<double>(total_rounds))
+          : 0.0;
+
+  // Stream traffic. Each non-resident tile re-streams its shard's encoded
+  // cells every pass; vector-segment traffic keeps the per-block formula so
+  // one tile reproduces the untiled numbers exactly.
+  const long long side = static_cast<long long>(plan.side());
+  const long long block_cols =
+      (static_cast<long long>(plan.cols) + side - 1) / side;
+  const long long grid_dim =
+      std::max(static_cast<long long>(plan.block_rows()), block_cols);
+  for (std::size_t t = 0; t < blocks_per_tile.size(); ++t) {
+    if (timing.tile_rounds[t] <= 1) continue;
+    const core::TileShard& shard = tiled.shard(static_cast<int>(t));
+    stats.matrix_stream_bits +=
+        static_cast<long long>(shard.entries()) *
+            core::storage_bits_per_value(fmt) +
+        static_cast<long long>(shard.blocks()) *
+            core::storage_bits_per_block(fmt, grid_dim);
+  }
+  stats.input_vector_bits = static_cast<long long>(total_blocks) * side *
+                            (1LL + fmt.ev + fmt.fv);
+  stats.output_vector_bits = static_cast<long long>(total_blocks) * side * 64LL;
+
+  // Link traffic over the (tiles - 1)-link tree: the broadcast pushes the
+  // quantized input vector across every link, the reduction pulls one
+  // partial output vector per link. Zero at one tile.
+  const long long links = static_cast<long long>(stats.tiles) - 1;
+  if (links > 0) {
+    stats.broadcast_bits = links * static_cast<long long>(plan.cols) *
+                           (1LL + fmt.ev + fmt.fv);
+    stats.reduction_bits = links * static_cast<long long>(plan.rows) * 64LL;
+  }
   return stats;
 }
 

@@ -6,7 +6,10 @@
 // utilization and stream traffic.
 #pragma once
 
+#include <vector>
+
 #include "src/arch/config.h"
+#include "src/core/tiled_plan.h"
 #include "src/sparse/blocked.h"
 
 namespace refloat::arch {
@@ -20,9 +23,28 @@ struct ScheduleStats {
   long long output_vector_bits = 0;   // partial OV segments out
   double write_busy_seconds = 0.0;    // writer occupancy over the pass
   double compute_busy_seconds = 0.0;  // cluster occupancy over the pass
+
+  // Tiled-pass observables (simulate_spmv_tiled; defaults describe the
+  // untiled pass so existing consumers read unchanged numbers).
+  int tiles = 1;
+  double broadcast_seconds = 0.0;     // input fan-out over the tile tree
+  double reduction_seconds = 0.0;     // partial-output tree reduction
+  long long broadcast_bits = 0;       // bits crossing the tree downward
+  long long reduction_bits = 0;       // bits crossing the tree upward
+  double ecc_seconds = 0.0;           // per-(tile, round) ECC charge
+  std::vector<long> tile_rounds;      // reprogram rounds per tile
+  std::vector<double> tile_utilization;  // per-tile occupied/available
 };
 
 ScheduleStats simulate_spmv(const AcceleratorConfig& config,
                             const sparse::BlockedMatrix& blocked);
+
+// Tiled counterpart over a partitioned plan: the shared-writer /
+// per-tile-double-buffered pipeline of arch::tiled_spmm_time plus the
+// observables — per-tile utilization and rounds, tree link traffic, ECC
+// charge. With one tile and ECC off, seconds/rounds/utilization/traffic all
+// equal simulate_spmv on the same blocks.
+ScheduleStats simulate_spmv_tiled(const AcceleratorConfig& config,
+                                  const core::TiledPlan& tiled);
 
 }  // namespace refloat::arch

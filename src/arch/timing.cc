@@ -1,6 +1,7 @@
 #include "src/arch/timing.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/arch/cost.h"
 
@@ -42,6 +43,133 @@ SpmvTiming spmm_time(const AcceleratorConfig& config,
 SpmvTiming spmv_time(const AcceleratorConfig& config,
                      std::size_t nonzero_blocks) {
   return spmm_time(config, nonzero_blocks, 1);
+}
+
+namespace {
+
+// Tree depth of the tile interconnect: 0 for one tile (no links crossed).
+int tile_tree_hops(int tiles) {
+  int hops = 0;
+  while ((1 << hops) < tiles) ++hops;
+  return hops;
+}
+
+}  // namespace
+
+TiledSpmvTiming tiled_spmm_time(const AcceleratorConfig& config,
+                                std::span<const std::size_t> blocks_per_tile,
+                                long long n, long batch_k) {
+  TiledSpmvTiming timing;
+  timing.batch_k = std::max(batch_k, 1L);
+  const int tiles =
+      blocks_per_tile.empty() ? 1 : static_cast<int>(blocks_per_tile.size());
+  timing.tiles = tiles;
+  timing.compute_seconds =
+      static_cast<double>(cycles_per_block_mvm(config.format)) *
+      config.op_latency_ns * 1e-9;
+  timing.write_seconds = static_cast<double>(1L << config.crossbar_bits) *
+                         config.row_write_ns * 1e-9;
+
+  // Per-tile reprogram rounds under the per-tile capacity budget.
+  timing.tile_rounds.assign(static_cast<std::size_t>(tiles), 1);
+  for (int t = 0; t < tiles && !blocks_per_tile.empty(); ++t) {
+    timing.tile_rounds[static_cast<std::size_t>(t)] =
+        deployment_cost(config, blocks_per_tile[static_cast<std::size_t>(t)])
+            .rounds;
+  }
+  timing.rounds =
+      *std::max_element(timing.tile_rounds.begin(), timing.tile_rounds.end());
+
+  const double ecc_round = config.ecc_round_ns * 1e-9;
+  const double round_compute =
+      static_cast<double>(timing.batch_k) * timing.compute_seconds + ecc_round;
+
+  if (tiles == 1 && ecc_round == 0.0) {
+    // One tile, ECC off: EXACTLY the monolithic closed form.
+    const SpmvTiming mono = spmm_time(
+        config, blocks_per_tile.empty() ? 0 : blocks_per_tile[0],
+        timing.batch_k);
+    timing.engine_seconds = mono.seconds;
+    timing.seconds = mono.seconds;
+    timing.per_rhs_seconds = mono.per_rhs_seconds;
+    timing.tile_busy_seconds.assign(
+        1, (mono.rounds > 1 ? static_cast<double>(mono.rounds) *
+                                  timing.write_seconds
+                            : 0.0) +
+               static_cast<double>(mono.rounds) *
+                   static_cast<double>(timing.batch_k) *
+                   timing.compute_seconds);
+    return timing;
+  }
+
+  // Shared host programming stream, double-buffered per tile: write jobs run
+  // round-major / tile-minor, and the write of a tile's round k waits for
+  // that tile's round k-2 compute (two block buffers per tile). Resident
+  // tiles (1 round) never write in-pass; tiles compute concurrently.
+  std::vector<std::vector<double>> compute_done(
+      static_cast<std::size_t>(tiles));
+  for (int t = 0; t < tiles; ++t) {
+    compute_done[static_cast<std::size_t>(t)].assign(
+        static_cast<std::size_t>(
+            timing.tile_rounds[static_cast<std::size_t>(t)]),
+        0.0);
+  }
+  timing.tile_busy_seconds.assign(static_cast<std::size_t>(tiles), 0.0);
+  double writer_free = 0.0;
+  for (long k = 0; k < timing.rounds; ++k) {
+    for (int t = 0; t < tiles; ++t) {
+      const std::size_t ti = static_cast<std::size_t>(t);
+      const long r = timing.tile_rounds[ti];
+      if (k >= r) continue;
+      const std::size_t ki = static_cast<std::size_t>(k);
+      double write_done = 0.0;
+      if (r > 1) {
+        double write_start;
+        if (config.overlap_write_compute) {
+          write_start = std::max(
+              writer_free, k >= 2 ? compute_done[ti][ki - 2] : 0.0);
+        } else {
+          write_start = std::max(
+              writer_free, k >= 1 ? compute_done[ti][ki - 1] : 0.0);
+        }
+        write_done = write_start + timing.write_seconds;
+        writer_free = write_done;
+        timing.tile_busy_seconds[ti] += timing.write_seconds;
+      }
+      const double compute_start =
+          std::max(write_done, k > 0 ? compute_done[ti][ki - 1] : 0.0);
+      compute_done[ti][ki] = compute_start + round_compute;
+      timing.tile_busy_seconds[ti] += round_compute;
+      timing.ecc_seconds += ecc_round;
+    }
+  }
+  for (const auto& done : compute_done) {
+    timing.engine_seconds = std::max(timing.engine_seconds, done.back());
+  }
+
+  // Interconnect: input broadcast down / partial-output reduction up a
+  // binary tree of tiles. Both vanish at one tile (no links crossed).
+  const int hops = tile_tree_hops(tiles);
+  if (hops > 0) {
+    const double hop_lat = static_cast<double>(hops) *
+                           config.link_latency_ns * 1e-9;
+    const double bw_bits =
+        std::max(config.link_gbit_per_s, 1e-9) * 1e9;  // bits/s per link
+    const core::Format& fmt = config.format;
+    const double iv_bits = static_cast<double>(n) *
+                           static_cast<double>(1 + fmt.ev + fmt.fv) *
+                           static_cast<double>(timing.batch_k);
+    const double ov_bits = static_cast<double>(n) * 64.0 *
+                           static_cast<double>(timing.batch_k);
+    timing.broadcast_seconds = hop_lat + iv_bits / bw_bits;
+    timing.reduction_seconds = hop_lat + ov_bits / bw_bits;
+  }
+
+  timing.seconds = timing.broadcast_seconds + timing.engine_seconds +
+                   timing.reduction_seconds;
+  timing.per_rhs_seconds =
+      timing.seconds / static_cast<double>(timing.batch_k);
+  return timing;
 }
 
 SolverProfile cg_profile() { return SolverProfile{1, 5, 6}; }

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
+#include <vector>
 
 #include "src/arch/config.h"
 
@@ -35,6 +37,42 @@ SpmvTiming spmv_time(const AcceleratorConfig& config,
 // the next round. spmm_time(config, blocks, 1) == spmv_time(config, blocks).
 SpmvTiming spmm_time(const AcceleratorConfig& config,
                      std::size_t nonzero_blocks, long batch_k);
+
+// --- Tiled pass timing ----------------------------------------------------
+// One SpMV/SpMM pass over blocks_per_tile.size() tiles, each holding its
+// shard of the plan and owning `clusters(config)` of capacity. The single
+// host programming stream is double-buffered against compute across tiles
+// AND rounds (write tile i+1 / round r+1 while tile i / round r computes);
+// tiles compute concurrently; the pass ends after the last tile's compute
+// plus the tree reduction. Broadcast/reduction hops are priced from
+// link_latency_ns / link_gbit_per_s; per-tile ECC adds ecc_round_ns to
+// every (tile, round). With one tile and ECC off this is EXACTLY the
+// monolithic closed form (it delegates to spmm_time).
+struct TiledSpmvTiming {
+  double seconds = 0.0;           // whole pass incl. broadcast + reduction
+  int tiles = 1;
+  long batch_k = 1;
+  long rounds = 1;                // critical-path (max per-tile) rounds
+  double engine_seconds = 0.0;    // write/compute pipeline span
+  double broadcast_seconds = 0.0; // input fan-out over the tree
+  double reduction_seconds = 0.0; // partial-output tree reduction
+  double ecc_seconds = 0.0;       // total ECC check/correct charge
+  double per_rhs_seconds = 0.0;
+  double compute_seconds = 0.0;   // per-round compute, ONE vector (no ECC)
+  double write_seconds = 0.0;     // per-round reprogram time
+  std::vector<long> tile_rounds;
+  std::vector<double> tile_busy_seconds;  // per-tile write+compute occupancy
+};
+
+TiledSpmvTiming tiled_spmm_time(const AcceleratorConfig& config,
+                                std::span<const std::size_t> blocks_per_tile,
+                                long long n, long batch_k);
+
+inline TiledSpmvTiming tiled_spmv_time(
+    const AcceleratorConfig& config,
+    std::span<const std::size_t> blocks_per_tile, long long n) {
+  return tiled_spmm_time(config, blocks_per_tile, n, 1);
+}
 
 // Operation counts of one solver iteration.
 struct SolverProfile {

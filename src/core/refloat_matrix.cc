@@ -20,6 +20,32 @@ int bits_for_spread(int spread) {
   return bits;
 }
 
+// One block-row of the noisy sweep: serial (brow, bcol) block order, one
+// Gaussian draw per nonzero per-block row partial, in row order. Shared by
+// the untiled and tiled noisy paths so they are the same instruction
+// sequence per block-row (bit-identity across partitions).
+void noisy_block_row(const SpmvPlan& plan, std::size_t br,
+                     const std::vector<double>& xq, std::span<double> y,
+                     double sigma, util::Rng& rng,
+                     std::vector<double>& partial) {
+  const std::size_t side = plan.side();
+  partial.resize(side);
+  for (std::size_t j = plan.block_ptr[br]; j < plan.block_ptr[br + 1]; ++j) {
+    const std::size_t r0 = static_cast<std::size_t>(plan.row0[j]);
+    const std::size_t c0 = static_cast<std::size_t>(plan.col0[j]);
+    std::fill(partial.begin(), partial.end(), 0.0);
+    for (std::size_t e = plan.entry_ptr[j]; e < plan.entry_ptr[j + 1]; ++e) {
+      partial[static_cast<std::size_t>(plan.entry_row[e])] +=
+          plan.entry_value[e] *
+          xq[c0 + static_cast<std::size_t>(plan.entry_col[e])];
+    }
+    for (std::size_t r = 0; r < side; ++r) {
+      if (partial[r] == 0.0) continue;
+      y[r0 + r] += partial[r] * (1.0 + sigma * rng.gaussian());
+    }
+  }
+}
+
 }  // namespace
 
 RefloatMatrix::RefloatMatrix(const sparse::Csr& a, const Format& format,
@@ -250,7 +276,6 @@ void RefloatMatrix::spmv_refloat_noisy(std::span<const double> x,
     for (auto& v : y) v *= 1.0 + sigma * rng.gaussian();
     return;
   }
-  const std::size_t side = plan_.side();
   util::ThreadPool::global().parallel_for(
       plan_.block_rows(), [&](std::size_t br) {
         // One counter-based noise stream per (sequence, block-row): the draw
@@ -259,22 +284,57 @@ void RefloatMatrix::spmv_refloat_noisy(std::span<const double> x,
         // is per worker thread (zeroed before each block), not per shard.
         util::Rng rng(util::stream_seed(seed, sequence, br));
         thread_local std::vector<double> partial;
-        partial.resize(side);
-        for (std::size_t j = plan_.block_ptr[br]; j < plan_.block_ptr[br + 1];
-             ++j) {
-          const std::size_t r0 = static_cast<std::size_t>(plan_.row0[j]);
-          const std::size_t c0 = static_cast<std::size_t>(plan_.col0[j]);
-          std::fill(partial.begin(), partial.end(), 0.0);
-          for (std::size_t e = plan_.entry_ptr[j]; e < plan_.entry_ptr[j + 1];
-               ++e) {
-            partial[static_cast<std::size_t>(plan_.entry_row[e])] +=
-                plan_.entry_value[e] *
-                scratch[c0 + static_cast<std::size_t>(plan_.entry_col[e])];
-          }
-          for (std::size_t r = 0; r < side; ++r) {
-            if (partial[r] == 0.0) continue;
-            y[r0 + r] += partial[r] * (1.0 + sigma * rng.gaussian());
-          }
+        noisy_block_row(plan_, br, scratch, y, sigma, rng, partial);
+      });
+}
+
+void RefloatMatrix::spmv_refloat_tiled(const TiledPlan& tiled,
+                                       std::span<const double> x,
+                                       std::span<double> y,
+                                       std::vector<double>& scratch) const {
+  scratch.resize(x.size());
+  quantize_vector(x, scratch);
+  sparse::fill(y, 0.0);
+  if (format_.b == 0) {
+    quantized_.spmv(scratch, y);
+    return;
+  }
+  // One pool shard per tile; within a tile the block-rows run in their
+  // serial order through the same sweep kernel as the untiled path, so the
+  // output is bit-identical to spmv_refloat for any partition.
+  const SweepKernels& kernels = sweep_kernels();
+  const std::span<const TileShard> shards = tiled.shards();
+  util::ThreadPool::global().parallel_for(
+      shards.size(), [&](std::size_t t) {
+        const TileShard& s = shards[t];
+        for (std::size_t br = s.brow_begin; br < s.brow_end; ++br) {
+          kernels.spmv_block_row(plan_, br, scratch.data(), y.data());
+        }
+      });
+}
+
+void RefloatMatrix::spmv_refloat_noisy_tiled(
+    const TiledPlan& tiled, std::span<const double> x, std::span<double> y,
+    std::vector<double>& scratch, double sigma, std::uint64_t seed,
+    std::uint64_t sequence) const {
+  scratch.resize(x.size());
+  quantize_vector(x, scratch);
+  sparse::fill(y, 0.0);
+  if (format_.b == 0) {
+    quantized_.spmv(scratch, y);
+    util::Rng rng(util::stream_seed(seed, sequence, 0));
+    for (auto& v : y) v *= 1.0 + sigma * rng.gaussian();
+    return;
+  }
+  const std::span<const TileShard> shards = tiled.shards();
+  util::ThreadPool::global().parallel_for(
+      shards.size(), [&](std::size_t t) {
+        const TileShard& s = shards[t];
+        thread_local std::vector<double> partial;
+        for (std::size_t br = s.brow_begin; br < s.brow_end; ++br) {
+          // Streams stay keyed per grid block-row, exactly as untiled.
+          util::Rng rng(util::stream_seed(seed, sequence, br));
+          noisy_block_row(plan_, br, scratch, y, sigma, rng, partial);
         }
       });
 }

@@ -17,6 +17,7 @@
 
 #include "src/core/format.h"
 #include "src/core/spmv_plan.h"
+#include "src/core/tiled_plan.h"
 #include "src/sparse/csr.h"
 #include "src/util/random.h"
 
@@ -115,6 +116,27 @@ class RefloatMatrix {
   void spmv_refloat_multi(std::span<const double> x, std::size_t k,
                           std::span<double> y,
                           MultiSpmvScratch& scratch) const;
+
+  // Tiled y = quantize(A) * quantize(x): one thread-pool shard per tile
+  // shard, each walking its contiguous block-row range of the shared plan
+  // arena with the same per-block-row sweep kernels as spmv_refloat.
+  // Tiling is a pure scheduling change: bit-identical to spmv_refloat for
+  // any partition of this matrix's plan, at any thread count. `tiled` must
+  // have been partitioned from this matrix's plan().
+  void spmv_refloat_tiled(const TiledPlan& tiled, std::span<const double> x,
+                          std::span<double> y,
+                          std::vector<double>& scratch) const;
+
+  // Tiled counterpart of spmv_refloat_noisy. Noise streams stay keyed per
+  // (seed, sequence, grid block-row) — not per tile — so the result is
+  // bit-identical to the untiled noisy path for any partition and any
+  // thread count.
+  void spmv_refloat_noisy_tiled(const TiledPlan& tiled,
+                                std::span<const double> x,
+                                std::span<double> y,
+                                std::vector<double>& scratch, double sigma,
+                                std::uint64_t seed,
+                                std::uint64_t sequence) const;
 
   // Same as spmv_refloat, with multiplicative Gaussian noise of deviation
   // `sigma` applied to every per-block row partial — the RTN

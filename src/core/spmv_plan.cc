@@ -1,5 +1,6 @@
 #include "src/core/spmv_plan.h"
 
+#include <cassert>
 #include <utility>
 
 namespace refloat::core {
@@ -38,11 +39,20 @@ bool SpmvPlan::valid() const {
   }
   for (std::size_t br = 0; br < n_brows; ++br) {
     if (block_ptr[br] > block_ptr[br + 1]) return false;
+    if (block_ptr[br + 1] > n_blocks) return false;
+    // entry_ptr / block_ptr cross-consistency: a block-row's entry span is
+    // addressable through its block span (a partitioner handing out block
+    // ranges that disagree with the entry arena must fail here, loudly).
+    if (entry_ptr[block_ptr[br]] > entry_ptr[block_ptr[br + 1]]) return false;
+    if (entry_ptr[block_ptr[br + 1]] > num_entries()) return false;
     for (std::size_t j = block_ptr[br]; j < block_ptr[br + 1]; ++j) {
       if (row0[j] != static_cast<sparse::Index>(br) * block_side) {
         return false;
       }
       if (j > block_ptr[br] && col0[j] <= col0[j - 1]) return false;
+      if (col0[j] < 0 || col0[j] >= cols) return false;
+      if (col0[j] % block_side != 0) return false;
+      if (row0[j] < 0 || row0[j] >= rows) return false;
     }
   }
   for (std::size_t j = 0; j < n_blocks; ++j) {
@@ -89,6 +99,9 @@ SpmvPlan SpmvPlanBuilder::finish(sparse::Index rows, sparse::Index cols,
   for (std::size_t i = 1; i < plan_.block_ptr.size(); ++i) {
     plan_.block_ptr[i] += plan_.block_ptr[i - 1];
   }
+  // A conversion that visited blocks out of order or mis-sized the arena
+  // must fail at build time, not as a silently wrong SpMV later.
+  assert(plan_.valid());
   return std::move(plan_);
 }
 

@@ -60,8 +60,11 @@ struct SpmvPlan {
   // Bytes the SoA arrays pin in memory (the bench's bytes-per-nnz column).
   [[nodiscard]] std::size_t payload_bytes() const;
 
-  // Internal-consistency check (monotone offsets, in-range coordinates,
-  // blocks inside their block-row). Cheap; used by tests and debug asserts.
+  // Internal-consistency check: monotone offsets, in-range aligned block
+  // origins, in-range coordinates, blocks inside their block-row, and
+  // entry_ptr/block_ptr cross-consistency (every block-row's entry span is
+  // addressable through its block span). Cheap; debug-asserted at the end
+  // of SpmvPlanBuilder::finish and exercised directly by tests.
   [[nodiscard]] bool valid() const;
 };
 

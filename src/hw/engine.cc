@@ -43,7 +43,7 @@ std::vector<std::vector<std::uint64_t>> polarity_codes(
 
 CrossbarCluster::CrossbarCluster(
     const std::vector<std::vector<std::uint64_t>>& m, int planes,
-    ClusterConfig config)
+    ClusterConfig config, EccScoreboard* ecc)
     : rows_(static_cast<int>(m.size())),
       cols_(m.empty() ? 0 : static_cast<int>(m[0].size())),
       planes_(planes),
@@ -67,14 +67,29 @@ CrossbarCluster::CrossbarCluster(
         if (sa0 > 0.0 || sa1 > 0.0) {
           // The same hash (same seed) selects the same cells for either
           // polarity of fault — losing a programmed bit and gaining a
-          // spurious one are mirror events on one defect population.
+          // spurious one are mirror events on one defect population. A
+          // manifested defect is repaired instead of applied while the
+          // shared ECC budget lasts (write-verify catches it), and a defect
+          // already repaired in this engine's mirror quadrant is repaired
+          // for free — the same spare cell serves both polarities, so
+          // partial ECC never breaks the pos/neg masking symmetry.
           const double u = cell_hash(config_.faults.seed, r, c, p);
-          if (u < sa0 && bit) {
-            bit = false;
-            ++faulty_cells_;
-          } else if (u < sa1 && !bit) {
-            bit = true;
-            ++faulty_cells_;
+          const bool hit = (u < sa0 && bit) || (u < sa1 && !bit);
+          if (hit) {
+            const std::uint32_t key = (static_cast<std::uint32_t>(p) << 16) |
+                                      (static_cast<std::uint32_t>(r) << 8) |
+                                      static_cast<std::uint32_t>(c);
+            if (ecc != nullptr && ecc->repaired.contains(key)) {
+              ++ecc_corrected_;
+            } else if (ecc != nullptr && ecc->budget != nullptr &&
+                       *ecc->budget > 0) {
+              --*ecc->budget;
+              ecc->repaired.insert(key);
+              ++ecc_corrected_;
+            } else {
+              bit = !bit;
+              ++faulty_cells_;
+            }
           }
         }
         if (bit) {
@@ -157,7 +172,7 @@ int checked_planes(const core::Format& format) {
 ProcessingEngine::ProcessingEngine(
     const std::vector<std::vector<double>>& block, int base,
     const core::Format& format, ClusterConfig config,
-    core::QuantPolicy policy)
+    core::QuantPolicy policy, long long* ecc_budget)
     : side_(static_cast<int>(block.size())),
       base_(base),
       format_(format),
@@ -165,11 +180,17 @@ ProcessingEngine::ProcessingEngine(
       policy_(policy),
       cell_step_(std::ldexp(
           1.0, core::window_floor(base, format.e, policy.window) - format.f)),
+      ecc_{ecc_budget, {}},
       positive_(polarity_codes(block, base, format, policy_, cell_step_, true),
-                checked_planes(format), config),
+                checked_planes(format), config,
+                ecc_budget != nullptr ? &ecc_ : nullptr),
       negative_(
           polarity_codes(block, base, format, policy_, cell_step_, false),
-          checked_planes(format), config) {}
+          checked_planes(format), config,
+          ecc_budget != nullptr ? &ecc_ : nullptr) {
+  // The scoreboard only matters while the clusters program.
+  ecc_.repaired.clear();
+}
 
 void ProcessingEngine::apply(std::span<const double> x, std::span<double> y,
                              EngineStats* stats, util::Rng& rng) const {

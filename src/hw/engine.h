@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "src/core/format.h"
@@ -28,21 +29,37 @@ struct NoiseConfig {
   double sigma = 0.0;  // relative RTN deviation on each ADC sample
 };
 
+// Modeled programming-time ECC: a correction budget (spare cells / remap
+// entries) that repairs stuck-at defects as write-verify detects them. The
+// budget is shared by every cluster programmed against the same counter
+// (per tile in the tiled HwSpmv) and consumed in programming order; defects
+// past the budget land as usual. A repair replaces the defective CELL, so
+// when a defect manifests in both polarity quadrants of an engine (the
+// shared-defect-population assumption behind the four-quadrant fault
+// masking), one budget charge repairs both manifestations — partial ECC
+// must never break the pos/neg symmetry that makes paired faults cancel.
+struct EccConfig {
+  long long correct_cells = 0;  // defect repairs available (0 = ECC off)
+};
+
 struct ClusterConfig {
   AdcConfig adc;
   FaultConfig faults;
   NoiseConfig noise;
+  EccConfig ecc;
 };
 
 struct EngineStats {
-  long long crossbar_ops = 0;  // (plane, input-bit, row) ADC samples
-  long long adc_clips = 0;     // samples clipped at full scale
-  long long faulty_cells = 0;  // cell-bits altered by stuck-at faults
+  long long crossbar_ops = 0;   // (plane, input-bit, row) ADC samples
+  long long adc_clips = 0;      // samples clipped at full scale
+  long long faulty_cells = 0;   // cell-bits altered by stuck-at faults
+  long long ecc_corrected = 0;  // faulty cell-bits repaired by ECC
 
   EngineStats& operator+=(const EngineStats& other) {
     crossbar_ops += other.crossbar_ops;
     adc_clips += other.adc_clips;
     faulty_cells += other.faulty_cells;
+    ecc_corrected += other.ecc_corrected;
     return *this;
   }
 };
@@ -62,10 +79,22 @@ struct EngineScratch {
 // FaultConfig seed selects the same faulty cells in every cluster of an
 // engine — the physical assumption behind the four-quadrant fault masking
 // bench_ablation_faults demonstrates.
+// Correction state shared by the two polarity clusters of one engine: the
+// remaining tile-wide budget plus the (row, col, plane) defects already
+// repaired in this engine — a later manifestation of a repaired defect is
+// fixed for free (same spare cell). Only read during construction.
+struct EccScoreboard {
+  long long* budget = nullptr;
+  std::unordered_set<std::uint32_t> repaired;  // key: (p << 16)|(r << 8)|c
+};
+
 class CrossbarCluster {
  public:
+  // `ecc`, when non-null, enables programming-time fault repair against the
+  // scoreboard's budget (see EccConfig).
   CrossbarCluster(const std::vector<std::vector<std::uint64_t>>& m,
-                  int planes, ClusterConfig config = {});
+                  int planes, ClusterConfig config = {},
+                  EccScoreboard* ecc = nullptr);
 
   // y[i] = sum_j m[i][j] * x[j], computed plane-by-plane and input-bit by
   // input-bit through the ADC. x entries must fit in x_bits. `x_mask` is
@@ -79,6 +108,7 @@ class CrossbarCluster {
 
   [[nodiscard]] int planes() const { return planes_; }
   [[nodiscard]] long long faulty_cells() const { return faulty_cells_; }
+  [[nodiscard]] long long ecc_corrected() const { return ecc_corrected_; }
 
  private:
   int rows_ = 0;
@@ -87,6 +117,7 @@ class CrossbarCluster {
   int words_ = 0;  // 64-bit words per row per plane
   ClusterConfig config_;
   long long faulty_cells_ = 0;
+  long long ecc_corrected_ = 0;
   // plane_bits_[p][row * words_ + w]: bit j of cell (row, j) on plane p.
   std::vector<std::vector<std::uint64_t>> plane_bits_;
 };
@@ -100,9 +131,14 @@ class ProcessingEngine {
   // re-encoding here diverges from the value-faithful path. Throws
   // std::invalid_argument for formats too wide for the 64-bit shift-add
   // datapath (planes + vector bits - 2 must stay below 63).
+  // `ecc_budget` (optional) is the shared correction counter. Both polarity
+  // clusters draw on it through one per-engine scoreboard (positive
+  // programmed first, so consumption order is deterministic), and a defect
+  // repaired in one quadrant is repaired in the mirror quadrant for free.
   ProcessingEngine(const std::vector<std::vector<double>>& block, int base,
                    const core::Format& format, ClusterConfig config = {},
-                   core::QuantPolicy policy = {});
+                   core::QuantPolicy policy = {},
+                   long long* ecc_budget = nullptr);
 
   // y += block * x in refloat semantics via the bit-true path. x and y span
   // the engine's block side. `scratch` must not be shared between threads;
@@ -114,6 +150,13 @@ class ProcessingEngine {
              EngineStats* stats, util::Rng& rng) const;
 
   [[nodiscard]] int side() const { return side_; }
+  // Programming-time fault outcome over both polarity clusters.
+  [[nodiscard]] long long faulty_cells() const {
+    return positive_.faulty_cells() + negative_.faulty_cells();
+  }
+  [[nodiscard]] long long ecc_corrected() const {
+    return positive_.ecc_corrected() + negative_.ecc_corrected();
+  }
 
  private:
   int side_ = 0;
@@ -122,6 +165,9 @@ class ProcessingEngine {
   ClusterConfig config_;
   core::QuantPolicy policy_;
   double cell_step_ = 1.0;  // value of one matrix code unit
+  // Declared before the clusters: both consume it during their
+  // construction; the repaired set is released afterwards.
+  EccScoreboard ecc_;
   CrossbarCluster positive_;
   CrossbarCluster negative_;
 };

@@ -6,19 +6,19 @@
 
 namespace refloat::hw {
 
-HwSpmv::HwSpmv(const core::RefloatMatrix& rf, ClusterConfig config)
-    : rows_(rf.quantized().rows()),
-      cols_(rf.quantized().cols()),
-      side_(1 << rf.format().b),
-      noisy_(config.noise.sigma > 0.0) {
+void HwSpmv::program_tile(const core::RefloatMatrix& rf, ClusterConfig config,
+                          std::size_t block_begin, std::size_t block_end) {
   // Program one engine per plan block, densifying straight from the SoA
-  // arena (the plan is the single source of block truth).
+  // arena (the plan is the single source of block truth). The whole tile
+  // draws on one correction budget, consumed in programming order.
   const core::SpmvPlan& plan = rf.plan();
-  engines_.reserve(plan.num_blocks());
+  long long budget = config.ecc.correct_cells;
+  long long faulty = 0;
+  long long corrected = 0;
   std::vector<std::vector<double>> dense(
       static_cast<std::size_t>(side_),
       std::vector<double>(static_cast<std::size_t>(side_), 0.0));
-  for (std::size_t j = 0; j < plan.num_blocks(); ++j) {
+  for (std::size_t j = block_begin; j < block_end; ++j) {
     for (auto& row : dense) std::fill(row.begin(), row.end(), 0.0);
     for (std::size_t e = plan.entry_ptr[j]; e < plan.entry_ptr[j + 1]; ++e) {
       dense[static_cast<std::size_t>(plan.entry_row[e])]
@@ -28,11 +28,55 @@ HwSpmv::HwSpmv(const core::RefloatMatrix& rf, ClusterConfig config)
     engines_.push_back(
         {plan.row0[j], plan.col0[j],
          ProcessingEngine(dense, plan.base[j], rf.format(), config,
-                          rf.policy())});
+                          rf.policy(), &budget)});
+    faulty += engines_.back().engine.faulty_cells();
+    corrected += engines_.back().engine.ecc_corrected();
   }
+  tile_faulty_cells_.push_back(faulty);
+  tile_corrected_cells_.push_back(corrected);
+  stats_.faulty_cells += faulty;
+  stats_.ecc_corrected += corrected;
+}
+
+HwSpmv::HwSpmv(const core::RefloatMatrix& rf, ClusterConfig config)
+    : rows_(rf.quantized().rows()),
+      cols_(rf.quantized().cols()),
+      side_(1 << rf.format().b),
+      noisy_(config.noise.sigma > 0.0) {
+  const core::SpmvPlan& plan = rf.plan();
+  engines_.reserve(plan.num_blocks());
+  program_tile(rf, config, 0, plan.num_blocks());
   // The plan's full-grid block-row index is also the threading shard index:
   // engines are 1:1 with plan blocks, so the offsets carry over (empty
   // block-rows become no-op shards).
+  row_begin_ = plan.block_ptr;
+}
+
+HwSpmv::HwSpmv(const core::RefloatMatrix& rf, ClusterConfig config,
+               const core::TiledPlan& tiled)
+    : rows_(rf.quantized().rows()),
+      cols_(rf.quantized().cols()),
+      side_(1 << rf.format().b),
+      noisy_(config.noise.sigma > 0.0) {
+  const core::SpmvPlan& plan = rf.plan();
+  engines_.reserve(plan.num_blocks());
+  const std::uint64_t seed = config.faults.seed;
+  for (int t = 0; t < tiled.tile_count(); ++t) {
+    const core::TileShard& shard = tiled.shard(t);
+    ClusterConfig tile_config = config;
+    // Tile 0 keeps the caller's fault seed verbatim — one tile is the
+    // monolithic build, cell for cell. Later tiles are physically distinct
+    // arrays, so they carry independently derived defect populations.
+    if (t > 0) {
+      tile_config.faults.seed =
+          util::stream_seed(seed, static_cast<std::uint64_t>(t), 0x713e5ULL);
+    }
+    program_tile(rf, tile_config, shard.block_begin, shard.block_end);
+  }
+  if (tiled.tile_count() == 0) {
+    tile_faulty_cells_.push_back(0);
+    tile_corrected_cells_.push_back(0);
+  }
   row_begin_ = plan.block_ptr;
 }
 

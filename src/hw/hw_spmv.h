@@ -21,7 +21,20 @@ namespace refloat::hw {
 
 class HwSpmv {
  public:
+  // Monolithic build: the whole plan programmed as one tile — one fault
+  // seed, one ECC budget (config.ecc.correct_cells).
   HwSpmv(const core::RefloatMatrix& rf, ClusterConfig config);
+
+  // Tiled build: each shard of `tiled` (a partition of rf.plan()) is
+  // programmed as its own tile with its own stuck-at fault population —
+  // tile 0 keeps config.faults.seed verbatim (so one tile reproduces the
+  // monolithic build bit-for-bit), tile t > 0 derives a per-tile seed —
+  // and its own ECC budget of config.ecc.correct_cells (total correction
+  // capacity scales with tile count; the reliability lever
+  // bench_tiles ablates). The compute path is unchanged: engines stay in
+  // plan-block order and apply() shards by block-row.
+  HwSpmv(const core::RefloatMatrix& rf, ClusterConfig config,
+         const core::TiledPlan& tiled);
 
   // y = A x through the crossbar engines. `rng` advances exactly once per
   // call when conductance noise is configured (it seeds the per-block-row
@@ -32,7 +45,23 @@ class HwSpmv {
   [[nodiscard]] const EngineStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t engines() const { return engines_.size(); }
 
+  // Programming-time fault outcome per tile (one entry for the monolithic
+  // build).
+  [[nodiscard]] int tile_count() const {
+    return static_cast<int>(tile_faulty_cells_.size());
+  }
+  [[nodiscard]] long long tile_faulty_cells(int t) const {
+    return tile_faulty_cells_[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] long long tile_corrected_cells(int t) const {
+    return tile_corrected_cells_[static_cast<std::size_t>(t)];
+  }
+
  private:
+  // Programs plan blocks [block_begin, block_end) as one tile and records
+  // its fault/correction counts.
+  void program_tile(const core::RefloatMatrix& rf, ClusterConfig config,
+                    std::size_t block_begin, std::size_t block_end);
   struct BlockEngine {
     sparse::Index row0 = 0;
     sparse::Index col0 = 0;
@@ -48,6 +77,8 @@ class HwSpmv {
   // threading shard, copied from the plan's block_ptr (size = grid
   // block-row count + 1; empty block-rows are empty ranges).
   std::vector<std::size_t> row_begin_;
+  std::vector<long long> tile_faulty_cells_;
+  std::vector<long long> tile_corrected_cells_;
   EngineStats stats_;
 };
 

@@ -34,19 +34,35 @@ class CsrOperator final : public LinearOperator {
 };
 
 // ReFloat-quantized SpMV (matrix and vector both quantized per block).
+// `tiles` > 1 routes every apply through the tile-sharded path (a pure
+// scheduling change — bit-identical to the untiled sweep); the default
+// follows $REFLOAT_TILES. The label stays "refloat" because tiling cannot
+// change any cached result.
 class RefloatOperator final : public LinearOperator {
  public:
-  explicit RefloatOperator(const core::RefloatMatrix& rf) : rf_(rf) {}
+  explicit RefloatOperator(const core::RefloatMatrix& rf,
+                           int tiles = core::default_tile_count())
+      : rf_(rf) {
+    if (tiles > 1 && rf.plan().num_blocks() > 0) {
+      tiled_ = core::TiledPlan::partition(rf.plan(), {.tiles = tiles});
+    }
+  }
   void apply(std::span<const double> x, std::span<double> y) override {
-    rf_.spmv_refloat(x, y, scratch_);
+    if (tiled_.empty()) {
+      rf_.spmv_refloat(x, y, scratch_);
+    } else {
+      rf_.spmv_refloat_tiled(tiled_, x, y, scratch_);
+    }
   }
   [[nodiscard]] sparse::Index dim() const override {
     return rf_.quantized().rows();
   }
   [[nodiscard]] std::string label() const override { return "refloat"; }
+  [[nodiscard]] const core::TiledPlan& tiled() const { return tiled_; }
 
  private:
   const core::RefloatMatrix& rf_;
+  core::TiledPlan tiled_;  // empty when running untiled
   std::vector<double> scratch_;
 };
 
@@ -105,11 +121,24 @@ class TruncatedOperator final : public LinearOperator {
 // any REFLOAT_THREADS setting.
 class NoisyRefloatOperator final : public LinearOperator {
  public:
+  // As with RefloatOperator, `tiles` > 1 is a pure scheduling change: the
+  // noise streams stay keyed per (seed, application, block-row), so the
+  // tiled solve is bit-identical to the untiled one.
   NoisyRefloatOperator(const core::RefloatMatrix& rf, double sigma,
-                       std::uint64_t seed)
-      : rf_(rf), sigma_(sigma), seed_(seed) {}
+                       std::uint64_t seed,
+                       int tiles = core::default_tile_count())
+      : rf_(rf), sigma_(sigma), seed_(seed) {
+    if (tiles > 1 && rf.plan().num_blocks() > 0) {
+      tiled_ = core::TiledPlan::partition(rf.plan(), {.tiles = tiles});
+    }
+  }
   void apply(std::span<const double> x, std::span<double> y) override {
-    rf_.spmv_refloat_noisy(x, y, scratch_, sigma_, seed_, sequence_++);
+    if (tiled_.empty()) {
+      rf_.spmv_refloat_noisy(x, y, scratch_, sigma_, seed_, sequence_++);
+    } else {
+      rf_.spmv_refloat_noisy_tiled(tiled_, x, y, scratch_, sigma_, seed_,
+                                   sequence_++);
+    }
   }
   [[nodiscard]] sparse::Index dim() const override {
     return rf_.quantized().rows();
@@ -121,6 +150,7 @@ class NoisyRefloatOperator final : public LinearOperator {
   double sigma_;
   std::uint64_t seed_;
   std::uint64_t sequence_ = 0;  // distinct noise per application
+  core::TiledPlan tiled_;       // empty when running untiled
   std::vector<double> scratch_;
 };
 

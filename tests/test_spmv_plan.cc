@@ -102,6 +102,66 @@ TEST(SpmvPlan, StructureIsValidAndMatchesLegacyBucketing) {
   EXPECT_GT(plan.payload_bytes(), 0u);
 }
 
+// valid() is the gate a corrupted plan must fail loudly at — it is
+// debug-asserted at the end of SpmvPlanBuilder::finish and is what a tile
+// partitioner's shard ranges are checked against. Each corruption below
+// breaks exactly one clause of the contract.
+TEST(SpmvPlan, ValidRejectsEachKindOfCorruption) {
+  const core::Format fmt{.b = 4, .e = 3, .f = 3, .ev = 3, .fv = 8};
+  const sparse::Csr a =
+      gen::build_stencil(gen::laplace2d_5pt(20, 10)).shifted(0.2);
+  const core::RefloatMatrix rf(a, fmt);
+  const core::SpmvPlan& good = rf.plan();
+  ASSERT_TRUE(good.valid());
+  ASSERT_GE(good.num_blocks(), 2u);
+
+  {  // block_ptr not monotone
+    core::SpmvPlan p = good;
+    p.block_ptr[1] = p.block_ptr[2] + 1;
+    EXPECT_FALSE(p.valid());
+  }
+  {  // block_ptr does not end at num_blocks()
+    core::SpmvPlan p = good;
+    p.block_ptr.back() += 1;
+    EXPECT_FALSE(p.valid());
+  }
+  {  // entry_ptr does not cover the arena
+    core::SpmvPlan p = good;
+    p.entry_ptr.back() -= 1;
+    EXPECT_FALSE(p.valid());
+  }
+  {  // entry_ptr not monotone mid-arena
+    core::SpmvPlan p = good;
+    p.entry_ptr[1] = p.entry_ptr[2] + 1;
+    EXPECT_FALSE(p.valid());
+  }
+  {  // a block claims the wrong block-row
+    core::SpmvPlan p = good;
+    p.row0[0] += static_cast<sparse::Index>(p.side());
+    EXPECT_FALSE(p.valid());
+  }
+  {  // block origin not aligned to the block side
+    core::SpmvPlan p = good;
+    p.col0[0] += 1;
+    EXPECT_FALSE(p.valid());
+  }
+  {  // block origin outside the matrix
+    core::SpmvPlan p = good;
+    p.col0[0] = p.cols + static_cast<sparse::Index>(p.side());
+    EXPECT_FALSE(p.valid());
+  }
+  {  // within-block coordinate out of range
+    core::SpmvPlan p = good;
+    p.entry_col[0] = static_cast<std::int16_t>(p.side());
+    EXPECT_FALSE(p.valid());
+  }
+  {  // SoA arrays out of step
+    core::SpmvPlan p = good;
+    p.base.pop_back();
+    EXPECT_FALSE(p.valid());
+  }
+}
+
 TEST(SpmvPlan, SpmvBitIdenticalToLegacyPathAcrossThreadCounts) {
   const core::Format fmt{.b = 4, .e = 3, .f = 3, .ev = 3, .fv = 8};
   // 20x10 grid -> 200 rows -> 13 block-rows at b=4: odd, not a multiple of

@@ -1,0 +1,415 @@
+// The tiled-execution contract (ISSUE 7): partitioning the SpmvPlan across
+// modeled ReRAM tiles is a pure scheduling change — every shard is a
+// zero-copy view, every SpMV path is bit-identical to its untiled
+// counterpart for any partition at any thread count — while the arch/
+// timing collapses to the monolithic closed form at one tile and the hw/
+// per-tile ECC measurably improves fault survival with tile count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/arch/cost.h"
+#include "src/arch/schedule.h"
+#include "src/arch/timing.h"
+#include "src/core/refloat_matrix.h"
+#include "src/core/tiled_plan.h"
+#include "src/gen/grid.h"
+#include "src/hw/hw_spmv.h"
+#include "src/sparse/blocked.h"
+#include "src/util/random.h"
+#include "src/util/thread_pool.h"
+
+namespace refloat {
+namespace {
+
+const core::Format kFmt{.b = 4, .e = 3, .f = 3, .ev = 3, .fv = 8};
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.gaussian();
+  return x;
+}
+
+// 20x10 grid -> 200 rows -> 13 block-rows at b=4: odd, so every tested
+// tile count splits unevenly.
+sparse::Csr grid_matrix() {
+  return gen::build_stencil(gen::laplace2d_5pt(20, 10)).shifted(0.2);
+}
+
+// 64x64 with rows 16..31 empty: grid block-row 1 is an empty range in the
+// plan and must land inside some shard as a no-op band.
+sparse::Csr empty_band_matrix() {
+  std::vector<sparse::Triplet> triplets;
+  for (sparse::Index i = 0; i < 64; ++i) {
+    if (i >= 16 && i < 32) continue;
+    triplets.push_back({i, i, 2.5});
+    if (i + 1 < 64) triplets.push_back({i, i + 1, -1.0});
+  }
+  return sparse::Csr::from_triplets(64, 64, triplets);
+}
+
+TEST(TilePartition, CoversThePlanForEveryTileCount) {
+  const core::RefloatMatrix rf(grid_matrix(), kFmt);
+  for (const int tiles : {1, 2, 3, 7, 13, 64}) {
+    const core::TiledPlan tiled =
+        core::TiledPlan::partition(rf.plan(), {.tiles = tiles});
+    EXPECT_TRUE(tiled.valid()) << tiles << " tiles";
+    EXPECT_EQ(tiled.tile_count(), std::min<int>(tiles, 64));
+    std::size_t blocks = 0;
+    std::size_t entries = 0;
+    for (const core::TileShard& s : tiled.shards()) {
+      blocks += s.blocks();
+      entries += s.entries();
+    }
+    EXPECT_EQ(blocks, rf.plan().num_blocks()) << tiles << " tiles";
+    EXPECT_EQ(entries, rf.plan().num_entries()) << tiles << " tiles";
+    EXPECT_EQ(tiled.stats().requested_tiles, tiles);
+  }
+}
+
+TEST(TilePartition, MoreTilesThanBlockRowsPadsEmptyShards) {
+  // 64x64 at b=4 -> 4 block-rows; 7 requested tiles -> 3 empty trailing
+  // shards, still a valid cover.
+  const core::RefloatMatrix rf(empty_band_matrix(), kFmt);
+  ASSERT_EQ(rf.plan().block_rows(), 4u);
+  const core::TiledPlan tiled =
+      core::TiledPlan::partition(rf.plan(), {.tiles = 7});
+  EXPECT_TRUE(tiled.valid());
+  EXPECT_EQ(tiled.tile_count(), 7);
+  int empty_shards = 0;
+  for (const core::TileShard& s : tiled.shards()) {
+    if (s.block_rows() == 0) ++empty_shards;
+  }
+  EXPECT_EQ(empty_shards, 3);
+}
+
+TEST(TilePartition, CapacityBudgetForcesExtraShards) {
+  const core::RefloatMatrix rf(grid_matrix(), kFmt);
+  const std::size_t cap = 3;
+  const core::TiledPlan tiled = core::TiledPlan::partition(
+      rf.plan(), {.tiles = 2, .capacity_blocks = cap});
+  EXPECT_TRUE(tiled.valid());
+  // 13 block-rows of ~3 blocks each cannot fit in 2 shards of 3 blocks.
+  EXPECT_GT(tiled.tile_count(), 2);
+  for (const core::TileShard& s : tiled.shards()) {
+    // The block-row atom is unsplittable: only single-block-row shards may
+    // exceed the budget, and the partitioner counts them.
+    if (s.block_rows() > 1) {
+      EXPECT_LE(s.blocks(), cap);
+    }
+  }
+  const core::TilePartitionStats& st = tiled.stats();
+  EXPECT_EQ(st.capacity_blocks, cap);
+  EXPECT_EQ(st.tiles, tiled.tile_count());
+}
+
+TEST(TilePartition, RefinementNeverWorsensBalance) {
+  const core::RefloatMatrix rf(grid_matrix(), kFmt);
+  for (const int tiles : {2, 3, 5}) {
+    const core::TiledPlan coarse = core::TiledPlan::partition(
+        rf.plan(), {.tiles = tiles, .refine = false});
+    const core::TiledPlan refined = core::TiledPlan::partition(
+        rf.plan(), {.tiles = tiles, .refine = true});
+    EXPECT_TRUE(refined.valid());
+    EXPECT_LE(refined.stats().balance, coarse.stats().balance)
+        << tiles << " tiles";
+    EXPECT_GE(refined.stats().balance, 1.0);
+  }
+}
+
+// Runs `fn` at 1, 2, and 8 threads and asserts bit-identical vectors.
+void expect_bit_identical_across_threads(
+    const std::function<std::vector<double>()>& fn,
+    const std::vector<double>& want, const char* what) {
+  for (const int threads : {1, 2, 8}) {
+    util::ThreadPool::set_global_threads(threads);
+    const std::vector<double> got = fn();
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got[i], want[i])
+          << what << ": row " << i << " at " << threads << " threads";
+    }
+  }
+  util::ThreadPool::set_global_threads(1);
+}
+
+TEST(TiledSpmv, BitIdenticalToUntiledForEveryPartitionAndThreadCount) {
+  for (const sparse::Csr& a : {grid_matrix(), empty_band_matrix()}) {
+    const core::RefloatMatrix rf(a, kFmt);
+    const std::vector<double> x =
+        random_vector(static_cast<std::size_t>(a.rows()), 201);
+    util::ThreadPool::set_global_threads(1);
+    std::vector<double> want(x.size());
+    std::vector<double> scratch;
+    rf.spmv_refloat(x, want, scratch);
+    for (const int tiles : {1, 2, 3, 7}) {
+      const core::TiledPlan tiled =
+          core::TiledPlan::partition(rf.plan(), {.tiles = tiles});
+      expect_bit_identical_across_threads(
+          [&] {
+            std::vector<double> y(x.size());
+            std::vector<double> s;
+            rf.spmv_refloat_tiled(tiled, x, y, s);
+            return y;
+          },
+          want, "value path");
+    }
+  }
+}
+
+TEST(TiledSpmv, CapacityForcedUnevenSplitStaysBitIdentical) {
+  const sparse::Csr a = grid_matrix();
+  const core::RefloatMatrix rf(a, kFmt);
+  const std::vector<double> x =
+      random_vector(static_cast<std::size_t>(a.rows()), 202);
+  util::ThreadPool::set_global_threads(1);
+  std::vector<double> want(x.size());
+  std::vector<double> scratch;
+  rf.spmv_refloat(x, want, scratch);
+  const core::TiledPlan tiled = core::TiledPlan::partition(
+      rf.plan(), {.tiles = 2, .capacity_blocks = 3});
+  ASSERT_GT(tiled.tile_count(), 2);
+  expect_bit_identical_across_threads(
+      [&] {
+        std::vector<double> y(x.size());
+        std::vector<double> s;
+        rf.spmv_refloat_tiled(tiled, x, y, s);
+        return y;
+      },
+      want, "capacity-forced split");
+}
+
+TEST(TiledSpmv, NoisyPathBitIdenticalToUntiled) {
+  // Noise streams are keyed per grid block-row, not per tile, so the tiled
+  // noisy sweep reproduces the untiled one exactly.
+  const sparse::Csr a = grid_matrix();
+  const core::RefloatMatrix rf(a, kFmt);
+  const std::vector<double> x =
+      random_vector(static_cast<std::size_t>(a.rows()), 203);
+  util::ThreadPool::set_global_threads(1);
+  std::vector<double> want(x.size());
+  std::vector<double> scratch;
+  rf.spmv_refloat_noisy(x, want, scratch, 0.05, 77, 3);
+  for (const int tiles : {1, 2, 3, 7}) {
+    const core::TiledPlan tiled =
+        core::TiledPlan::partition(rf.plan(), {.tiles = tiles});
+    expect_bit_identical_across_threads(
+        [&] {
+          std::vector<double> y(x.size());
+          std::vector<double> s;
+          rf.spmv_refloat_noisy_tiled(tiled, x, y, s, 0.05, 77, 3);
+          return y;
+        },
+        want, "noisy path");
+  }
+}
+
+TEST(TiledHwSpmv, FaultFreeBuildMatchesMonolithicBitForBit) {
+  // Without faults every tile programs the same cells, so the tiled build
+  // must equal the monolithic one even with conductance noise on (noise is
+  // keyed per block-row downstream of programming).
+  const sparse::Csr a = grid_matrix();
+  const core::RefloatMatrix rf(a, kFmt);
+  hw::ClusterConfig config;
+  config.noise.sigma = 0.05;
+  const std::vector<double> x =
+      random_vector(static_cast<std::size_t>(a.rows()), 204);
+  util::ThreadPool::set_global_threads(1);
+  hw::HwSpmv mono(rf, config);
+  util::Rng rng_mono(55);
+  std::vector<double> want(x.size());
+  mono.apply(x, want, rng_mono);
+  for (const int tiles : {1, 2, 3, 7}) {
+    const core::TiledPlan tiled =
+        core::TiledPlan::partition(rf.plan(), {.tiles = tiles});
+    expect_bit_identical_across_threads(
+        [&] {
+          hw::HwSpmv spmv(rf, config, tiled);
+          util::Rng rng(55);
+          std::vector<double> y(x.size());
+          spmv.apply(x, y, rng);
+          return y;
+        },
+        want, "hw path");
+  }
+}
+
+TEST(TiledHwSpmv, OneTileReproducesTheMonolithicFaultPopulation) {
+  // Tile 0 keeps the fault seed verbatim: a 1-tile tiled build injects the
+  // exact same faulty cells as the monolithic build.
+  const sparse::Csr a = grid_matrix();
+  const core::RefloatMatrix rf(a, kFmt);
+  hw::ClusterConfig config;
+  config.faults.stuck_at_one_rate = 1e-2;
+  util::ThreadPool::set_global_threads(1);
+  hw::HwSpmv mono(rf, config);
+  const core::TiledPlan one =
+      core::TiledPlan::partition(rf.plan(), {.tiles = 1});
+  hw::HwSpmv tiled(rf, config, one);
+  EXPECT_EQ(tiled.tile_count(), 1);
+  EXPECT_EQ(tiled.stats().faulty_cells, mono.stats().faulty_cells);
+  EXPECT_GT(mono.stats().faulty_cells, 0);
+  const std::vector<double> x =
+      random_vector(static_cast<std::size_t>(a.rows()), 205);
+  util::Rng r1(66);
+  util::Rng r2(66);
+  std::vector<double> y1(x.size());
+  std::vector<double> y2(x.size());
+  mono.apply(x, y1, r1);
+  tiled.apply(x, y2, r2);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(y1[i], y2[i]);
+}
+
+TEST(TiledHwSpmv, PerTileEccBudgetImprovesFaultSurvival) {
+  const sparse::Csr a = grid_matrix();
+  const core::RefloatMatrix rf(a, kFmt);
+  hw::ClusterConfig faults;
+  faults.faults.stuck_at_one_rate = 1e-2;
+  util::ThreadPool::set_global_threads(1);
+
+  // Measure the monolithic fault manifestations with ECC off. A defect can
+  // manifest in both polarity quadrants, so manifestations ~ 2x defects.
+  hw::HwSpmv bare(rf, faults);
+  const long long selected = bare.stats().faulty_cells;
+  ASSERT_GT(selected, 16);
+
+  // A per-tile budget of ~1/4 of the monolithic manifestations (~1/2 of
+  // the defects): alone it leaves a large share of the faults standing;
+  // split across 4 tiles (each holding ~1/4 of the defects against the
+  // same budget) it covers essentially everything.
+  hw::ClusterConfig ecc = faults;
+  ecc.ecc.correct_cells = (selected + 3) / 4;
+  const long long budget = ecc.ecc.correct_cells;
+
+  hw::HwSpmv mono(rf, ecc);
+  EXPECT_EQ(mono.tile_count(), 1);
+  // Budget exhausted: every charge repaired one defect (1 or 2 of the
+  // selected manifestations), the rest landed.
+  EXPECT_GT(mono.stats().faulty_cells, 0);
+  EXPECT_GE(mono.stats().ecc_corrected, budget);
+  EXPECT_LE(mono.stats().ecc_corrected, 2 * budget);
+  EXPECT_EQ(mono.stats().faulty_cells + mono.stats().ecc_corrected, selected);
+
+  const core::TiledPlan four =
+      core::TiledPlan::partition(rf.plan(), {.tiles = 4});
+  hw::HwSpmv tiled(rf, ecc, four);
+  ASSERT_EQ(tiled.tile_count(), 4);
+  long long survived = 0;
+  for (int t = 0; t < tiled.tile_count(); ++t) {
+    survived += tiled.tile_faulty_cells(t);
+    // The budget mechanism: a tile never repairs more manifestations than
+    // two per budget charge, and a tile with surviving faults must have
+    // exhausted its budget first.
+    EXPECT_LE(tiled.tile_corrected_cells(t), 2 * budget);
+    if (tiled.tile_faulty_cells(t) > 0) {
+      EXPECT_GE(tiled.tile_corrected_cells(t), budget);
+    }
+  }
+  EXPECT_EQ(survived, tiled.stats().faulty_cells);
+  EXPECT_LT(survived, mono.stats().faulty_cells);
+}
+
+TEST(TiledTiming, OneTileMatchesTheMonolithicClosedFormExactly) {
+  arch::AcceleratorConfig config = arch::refloat_config(kFmt);
+  for (const long long capacity : {100000LL, 200LL, 37LL}) {
+    config.total_crossbars =
+        capacity * arch::crossbars_per_cluster(config.format);
+    for (const long batch_k : {1L, 8L}) {
+      const std::size_t blocks[] = {977};
+      const arch::SpmvTiming mono = arch::spmm_time(config, 977, batch_k);
+      const arch::TiledSpmvTiming tiled =
+          arch::tiled_spmm_time(config, blocks, 4096, batch_k);
+      EXPECT_EQ(tiled.seconds, mono.seconds) << "capacity " << capacity;
+      EXPECT_EQ(tiled.rounds, mono.rounds);
+      EXPECT_EQ(tiled.per_rhs_seconds, mono.per_rhs_seconds);
+      EXPECT_EQ(tiled.broadcast_seconds, 0.0);
+      EXPECT_EQ(tiled.reduction_seconds, 0.0);
+      EXPECT_EQ(tiled.ecc_seconds, 0.0);
+    }
+  }
+}
+
+TEST(TiledTiming, TilesThatMakeTheMatrixResidentDropTheWriteRounds) {
+  // 256 blocks against a 64-cluster tile: monolithic needs 4 reprogram
+  // rounds; four tiles hold their 64-block shards resident and the engine
+  // pipeline collapses to one compute wave. The interconnect terms are what
+  // a tile sweep trades against that win.
+  arch::AcceleratorConfig config = arch::refloat_config(kFmt);
+  config.total_crossbars = 64 * arch::crossbars_per_cluster(config.format);
+  const std::size_t one[] = {256};
+  const std::size_t four[] = {64, 64, 64, 64};
+  const arch::TiledSpmvTiming t1 = arch::tiled_spmm_time(config, one, 4096, 1);
+  const arch::TiledSpmvTiming t4 =
+      arch::tiled_spmm_time(config, four, 4096, 1);
+  EXPECT_EQ(t1.rounds, 4);
+  EXPECT_EQ(t4.rounds, 1);
+  EXPECT_DOUBLE_EQ(t4.engine_seconds, t4.compute_seconds);
+  EXPECT_LT(t4.engine_seconds, t1.engine_seconds);
+  EXPECT_GT(t4.broadcast_seconds, 0.0);
+  EXPECT_GT(t4.reduction_seconds, 0.0);
+}
+
+TEST(TiledTiming, EccRoundChargeAccumulatesPerTileRound) {
+  arch::AcceleratorConfig config = arch::refloat_config(kFmt);
+  config.total_crossbars = 64 * arch::crossbars_per_cluster(config.format);
+  config.ecc_round_ns = 40.0;
+  const std::size_t two[] = {128, 64};
+  const arch::TiledSpmvTiming t = arch::tiled_spmm_time(config, two, 4096, 1);
+  // 128 blocks -> 2 rounds, 64 -> 1 round: 3 (tile, round) charges.
+  EXPECT_EQ(t.tile_rounds[0], 2);
+  EXPECT_EQ(t.tile_rounds[1], 1);
+  EXPECT_DOUBLE_EQ(t.ecc_seconds, 3 * 40.0 * 1e-9);
+}
+
+TEST(TiledSchedule, OneTileMatchesTheUntiledSimulation) {
+  const sparse::Csr a = grid_matrix();
+  const core::RefloatMatrix rf(a, kFmt);
+  const sparse::BlockedMatrix blocked(rf.quantized(), kFmt.b);
+  ASSERT_EQ(blocked.nonzero_blocks(), rf.plan().num_blocks());
+  ASSERT_EQ(static_cast<std::size_t>(blocked.nnz()), rf.plan().num_entries());
+
+  arch::AcceleratorConfig config = arch::refloat_config(kFmt);
+  for (const long long capacity : {100000LL, 13LL}) {
+    config.total_crossbars =
+        capacity * arch::crossbars_per_cluster(config.format);
+    const arch::ScheduleStats untiled = arch::simulate_spmv(config, blocked);
+    const core::TiledPlan one =
+        core::TiledPlan::partition(rf.plan(), {.tiles = 1});
+    const arch::ScheduleStats tiled = arch::simulate_spmv_tiled(config, one);
+    EXPECT_EQ(tiled.seconds, untiled.seconds) << "capacity " << capacity;
+    EXPECT_EQ(tiled.rounds, untiled.rounds);
+    EXPECT_EQ(tiled.cluster_utilization, untiled.cluster_utilization);
+    EXPECT_EQ(tiled.matrix_stream_bits, untiled.matrix_stream_bits);
+    EXPECT_EQ(tiled.input_vector_bits, untiled.input_vector_bits);
+    EXPECT_EQ(tiled.output_vector_bits, untiled.output_vector_bits);
+    EXPECT_EQ(tiled.broadcast_bits, 0);
+    EXPECT_EQ(tiled.reduction_bits, 0);
+  }
+}
+
+TEST(TiledSchedule, ReportsPerTileObservables) {
+  const sparse::Csr a = grid_matrix();
+  const core::RefloatMatrix rf(a, kFmt);
+  arch::AcceleratorConfig config = arch::refloat_config(kFmt);
+  config.total_crossbars = 8 * arch::crossbars_per_cluster(config.format);
+  const core::TiledPlan tiled =
+      core::TiledPlan::partition(rf.plan(), {.tiles = 3});
+  const arch::ScheduleStats stats = arch::simulate_spmv_tiled(config, tiled);
+  EXPECT_EQ(stats.tiles, 3);
+  ASSERT_EQ(stats.tile_utilization.size(), 3u);
+  ASSERT_EQ(stats.tile_rounds.size(), 3u);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_GT(stats.tile_utilization[static_cast<std::size_t>(t)], 0.0);
+    EXPECT_LE(stats.tile_utilization[static_cast<std::size_t>(t)], 1.0);
+  }
+  EXPECT_GT(stats.broadcast_bits, 0);
+  EXPECT_GT(stats.reduction_bits, 0);
+  EXPECT_GT(stats.broadcast_seconds, 0.0);
+  EXPECT_GT(stats.reduction_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace refloat
