@@ -1,0 +1,278 @@
+// Serving-layer load generator: a closed-loop sweep of the batch window
+// against per-request latency, plus the modeled reprogram amortization the
+// daemon's batching buys at the measured batch sizes. Emits the
+// EXPERIMENTS.md "batch window vs latency" table and
+// results/serve_window_sweep.csv.
+//
+// `--smoke`: end-to-end TCP front-end check (start daemon + TcpServer,
+// drive PING/SOLVE/STATS/QUIT over a real socket, verify replies, clean
+// shutdown) — the CI daemon smoke step. Exits non-zero on any mismatch.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/arch/cost.h"
+#include "src/gen/grid.h"
+#include "src/serve/daemon.h"
+#include "src/serve/tcp_server.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace refloat;
+
+// A mid-size SPD stand-in: large enough that building the RefloatMatrix
+// and solving are measurable, small enough that the sweep finishes in
+// seconds. Shifted Laplacian -> CG route.
+sparse::Csr bench_matrix() {
+  return gen::build_stencil(gen::laplace2d_5pt(48, 40)).shifted(0.15);
+}
+
+constexpr const char* kMatrixName = "laplace48x40";
+
+serve::ServeConfig sweep_config(double window_ms) {
+  serve::ServeConfig config;
+  config.max_batch = 8;
+  config.batch_window_ms = window_ms;
+  config.queue_capacity = 1024;
+  return config;
+}
+
+struct SweepRow {
+  double window_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_k = 0.0;
+  std::uint64_t completed = 0;
+};
+
+SweepRow run_window(double window_ms, int clients, int requests_per_client) {
+  serve::SolverDaemon daemon(sweep_config(window_ms));
+  daemon.register_matrix(kMatrixName, core::default_format(),
+                         [] { return bench_matrix(); });
+
+  // Warm the residency cache so the sweep measures batching, not the
+  // one-time build.
+  {
+    serve::SolveRequest warm;
+    warm.matrix = kMatrixName;
+    warm.rhs_seed = 1;
+    warm.tolerance = 1e-6;
+    warm.want_solution = false;
+    daemon.submit(std::move(warm)).get();
+  }
+
+  std::vector<std::vector<double>> latencies_ms(
+      static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int r = 0; r < requests_per_client; ++r) {
+        serve::SolveRequest request;
+        request.matrix = kMatrixName;
+        request.rhs_seed =
+            static_cast<std::uint64_t>(c) * 1000u + static_cast<unsigned>(r);
+        request.tolerance = 1e-6;
+        request.want_solution = false;
+        const serve::SolveResponse response =
+            daemon.submit(std::move(request)).get();
+        if (response.status == serve::ResponseStatus::kOk) {
+          latencies_ms[static_cast<std::size_t>(c)].push_back(
+              response.latency.total_seconds * 1e3);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::vector<double> all;
+  for (const auto& v : latencies_ms) all.insert(all.end(), v.begin(), v.end());
+  const serve::ServeStats stats = daemon.stats();
+  daemon.shutdown();
+
+  SweepRow row;
+  row.window_ms = window_ms;
+  row.p50_ms = util::percentile(all, 50.0);
+  row.p99_ms = util::percentile(all, 99.0);
+  // Exclude the warm-up solo batch from the mean where possible.
+  row.mean_k = stats.mean_batch_k();
+  row.completed = stats.completed;
+  return row;
+}
+
+int run_sweep() {
+  std::printf("=== Serving layer: batch window vs per-request latency ===\n\n");
+  const int clients = 8;
+  const int requests_per_client = 24;
+  const double windows_ms[] = {0.0, 0.5, 1.0, 2.0, 5.0};
+
+  util::CsvWriter csv(bench::results_dir() + "/serve_window_sweep.csv");
+  csv.row({"window_ms", "clients", "requests", "completed", "mean_batch_k",
+           "p50_ms", "p99_ms"});
+  util::Table table(
+      {"window (ms)", "mean batch k", "p50 (ms)", "p99 (ms)", "completed"});
+  for (const double w : windows_ms) {
+    const SweepRow row = run_window(w, clients, requests_per_client);
+    csv.row({util::fmt_f(w, 1), std::to_string(clients),
+             std::to_string(clients * requests_per_client),
+             std::to_string(row.completed), util::fmt_f(row.mean_k, 2),
+             util::fmt_f(row.p50_ms, 3), util::fmt_f(row.p99_ms, 3)});
+    table.add_row({util::fmt_f(w, 1), util::fmt_f(row.mean_k, 2),
+                   util::fmt_f(row.p50_ms, 3), util::fmt_f(row.p99_ms, 3),
+                   util::fmt_i(static_cast<long long>(row.completed))});
+    std::printf("window %.1f ms: mean k %.2f, p50 %.3f ms, p99 %.3f ms\n", w,
+                row.mean_k, row.p50_ms, row.p99_ms);
+  }
+  std::printf("\n");
+  table.print();
+
+  // Modeled accelerator amortization at the batch sizes the daemon forms:
+  // on a write-bound matrix (more blocks than clusters -> reprogram rounds
+  // every SpMM pass), sharing each round's writes across k right-hand
+  // sides divides the dominant cost by k.
+  std::printf("\n=== Modeled per-RHS amortization on a write-bound matrix "
+              "===\n\n");
+  const arch::AcceleratorConfig config =
+      arch::refloat_config(core::default_format());
+  // 4x the chip's clusters -> 4 reprogram rounds per pass (write-bound).
+  const std::size_t blocks =
+      static_cast<std::size_t>(arch::clusters(config)) * 4;
+  const long long n = 1 << 16;
+  constexpr long kIterations = 200;
+  const arch::SolverProfile profile = arch::cg_profile();
+  const arch::SolveTime t1 = arch::accelerator_batched_solve_time(
+      config, blocks, n, kIterations, profile, 1);
+  util::Table amort({"k", "per-RHS (modeled)", "amortization vs k=1"});
+  double amort_k8 = 0.0;
+  for (const long k : {1L, 2L, 4L, 8L}) {
+    const arch::SolveTime tk = arch::accelerator_batched_solve_time(
+        config, blocks, n, kIterations, profile, k);
+    const double ratio = t1.per_rhs_seconds / tk.per_rhs_seconds;
+    if (k == 8) amort_k8 = ratio;
+    amort.add_row({std::to_string(k), util::fmt_g(tk.per_rhs_seconds, 4),
+                   util::fmt_x(ratio, 2)});
+  }
+  amort.print();
+  std::printf("\nblocks = %zu (%lld clusters, 4 reprogram rounds/pass), "
+              "%ld-iteration CG\n",
+              blocks, arch::clusters(config), kIterations);
+  if (amort_k8 < 1.5) {
+    std::printf("FAIL: k=8 amortization %.2fx < 1.5x on a write-bound "
+                "matrix\n",
+                amort_k8);
+    return 1;
+  }
+  std::printf("k=8 amortization %.2fx (>= 1.5x target)\n", amort_k8);
+  std::printf("Series written to results/serve_window_sweep.csv\n");
+  return 0;
+}
+
+// --- TCP smoke -----------------------------------------------------------
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Sends one line, reads back one '\n'-terminated reply.
+std::string roundtrip(int fd, const std::string& line, std::string* buffer) {
+  const std::string out = line + "\n";
+  if (::send(fd, out.data(), out.size(), 0) < 0) return "";
+  while (buffer->find('\n') == std::string::npos) {
+    char chunk[512];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return "";
+    buffer->append(chunk, static_cast<std::size_t>(n));
+  }
+  const std::size_t nl = buffer->find('\n');
+  std::string reply = buffer->substr(0, nl);
+  buffer->erase(0, nl + 1);
+  return reply;
+}
+
+bool expect_prefix(const std::string& reply, const std::string& prefix,
+                   const std::string& what) {
+  if (reply.rfind(prefix, 0) == 0) {
+    std::printf("  %-28s -> %s\n", what.c_str(), reply.c_str());
+    return true;
+  }
+  std::printf("  %-28s -> UNEXPECTED \"%s\" (wanted prefix \"%s\")\n",
+              what.c_str(), reply.c_str(), prefix.c_str());
+  return false;
+}
+
+int run_smoke() {
+  std::printf("=== Serving layer TCP smoke ===\n");
+  serve::SolverDaemon daemon(sweep_config(1.0));
+  daemon.register_matrix(kMatrixName, core::default_format(),
+                         [] { return bench_matrix(); });
+  serve::TcpServer server(daemon);
+  std::printf("daemon + TCP front-end on 127.0.0.1:%u\n\n", server.port());
+
+  const int fd = connect_loopback(server.port());
+  if (fd < 0) {
+    std::printf("FAIL: cannot connect\n");
+    return 1;
+  }
+  std::string buffer;
+  bool ok = true;
+  ok &= expect_prefix(roundtrip(fd, "PING", &buffer), "PONG", "PING");
+  ok &= expect_prefix(
+      roundtrip(fd, std::string("SOLVE ") + kMatrixName + " tol=1e-6", &buffer),
+      "OK status=converged", "SOLVE (cold build)");
+  ok &= expect_prefix(
+      roundtrip(fd,
+                std::string("SOLVE ") + kMatrixName +
+                    " tol=1e-6 rhs=seed:42",
+                &buffer),
+      "OK status=converged", "SOLVE (cache hit)");
+  ok &= expect_prefix(roundtrip(fd, "SOLVE no_such_matrix", &buffer),
+                      "ERR unknown_matrix", "SOLVE unknown matrix");
+  ok &= expect_prefix(roundtrip(fd, "SOLVE", &buffer), "ERR",
+                      "SOLVE missing name");
+  ok &= expect_prefix(roundtrip(fd, "FROB", &buffer), "ERR unknown verb",
+                      "unknown verb");
+  ok &= expect_prefix(roundtrip(fd, "STATS", &buffer), "STATS submitted=",
+                      "STATS");
+  ok &= expect_prefix(roundtrip(fd, "QUIT", &buffer), "BYE", "QUIT");
+  ::close(fd);
+
+  server.stop();
+  daemon.shutdown();
+  const serve::ServeStats stats = daemon.stats();
+  if (stats.completed < 2) {
+    std::printf("FAIL: expected >= 2 completed solves, saw %llu\n",
+                static_cast<unsigned long long>(stats.completed));
+    ok = false;
+  }
+  std::printf("\n%s\n", ok ? "smoke OK (clean shutdown)" : "smoke FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return run_smoke();
+  return run_sweep();
+}

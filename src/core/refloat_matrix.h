@@ -86,6 +86,15 @@ class RefloatMatrix {
   // concurrently from multiple threads for the same matrix.
   const ConversionStats& probe_definiteness(int steps = 96) const;
 
+  // Host heap bytes a resident (built) matrix pins: the dequantized CSR
+  // view plus the SpmvPlan arena. This is what the serving layer's
+  // residency cache budgets against — the software mirror of "programmed
+  // crossbar capacity is the scarce resource" (the cache evicts by these
+  // bytes so programming cost is paid once per resident matrix).
+  [[nodiscard]] std::size_t resident_bytes() const {
+    return quantized_.memory_bytes() + plan_.payload_bytes();
+  }
+
   // --- Fig. 4 storage model ----------------------------------------------
   // Per nonzero: 2b in-block index bits + sign + e + f.
   // Per block: block-grid coordinates + an 11-bit base exponent.

@@ -89,6 +89,12 @@ class TiledPlan {
   // Per-tile block counts, the arch/ timing model's input.
   [[nodiscard]] std::vector<std::size_t> blocks_per_tile() const;
 
+  // Bytes of the shard index itself (the views are zero-copy, so this is
+  // all a TiledPlan adds on top of its plan — serving-cache accounting).
+  [[nodiscard]] std::size_t index_bytes() const {
+    return shards_.size() * sizeof(TileShard);
+  }
+
   // Shards are contiguous, cover every grid block-row exactly once, and
   // their block/entry ranges agree with the plan's block_ptr/entry_ptr.
   [[nodiscard]] bool valid() const;

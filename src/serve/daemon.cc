@@ -1,0 +1,414 @@
+#include "src/serve/daemon.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "src/gen/suite.h"
+#include "src/solvers/batched.h"
+#include "src/sparse/vector_ops.h"
+#include "src/util/log.h"
+#include "src/util/random.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+namespace refloat::serve {
+
+namespace {
+
+// Positive-integer env override; invalid values warn and keep `fallback`.
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || text[0] == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || parsed < 1) {
+    RF_LOG_WARN("%s=\"%s\" is not a positive integer; using %zu", name, text,
+                fallback);
+    return fallback;
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || text[0] == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !(parsed >= 0.0)) {
+    RF_LOG_WARN("%s=\"%s\" is not a non-negative number; using %g", name,
+                text, fallback);
+    return fallback;
+  }
+  return parsed;
+}
+
+Duration window_duration(double ms) {
+  return std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+const char* solver_name_of(bool indefinite) {
+  return indefinite ? "bicgstab" : "cg";
+}
+
+// Bounds the latency reservoir: a long-lived daemon must not grow an
+// unbounded vector of every latency ever observed.
+constexpr std::size_t kMaxReservoir = 1u << 20;
+
+}  // namespace
+
+const char* response_status_name(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk: return "ok";
+    case ResponseStatus::kShedQueueFull: return "shed_queue_full";
+    case ResponseStatus::kShedDeadline: return "shed_deadline";
+    case ResponseStatus::kUnknownMatrix: return "unknown_matrix";
+    case ResponseStatus::kBadRequest: return "bad_request";
+    case ResponseStatus::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+ServeConfig ServeConfig::from_env() {
+  ServeConfig config;
+  config.queue_capacity = env_size("REFLOAT_SERVE_QUEUE",
+                                   config.queue_capacity);
+  config.max_batch = env_size("REFLOAT_SERVE_BATCH", config.max_batch);
+  config.batch_window_ms =
+      env_double("REFLOAT_SERVE_WINDOW_MS", config.batch_window_ms);
+  config.cache_bytes =
+      env_size("REFLOAT_SERVE_CACHE_MB", config.cache_bytes >> 20) << 20;
+  return config;
+}
+
+std::vector<double> seeded_rhs(std::size_t n, std::uint64_t seed) {
+  std::vector<double> b(n, 0.0);
+  util::Rng rng(util::stream_seed(0x5e7f10a7u, seed, n));
+  for (double& v : b) v = rng.gaussian();
+  const double norm = sparse::norm2(b);
+  if (norm > 0.0) {
+    for (double& v : b) v /= norm;
+  }
+  return b;
+}
+
+SolverDaemon::SolverDaemon(ServeConfig config)
+    : config_(config),
+      queue_(config.queue_capacity),
+      batcher_(config.max_batch, window_duration(config.batch_window_ms)),
+      cache_(config.cache_bytes) {
+  if (config_.tiles <= 0) config_.tiles = core::default_tile_count();
+  if (!config_.manual_pump) {
+    dispatcher_ = std::thread([this] { dispatch_loop(); });
+  }
+}
+
+SolverDaemon::~SolverDaemon() { shutdown(); }
+
+void SolverDaemon::register_matrix(const std::string& name,
+                                   const core::Format& format,
+                                   std::function<sparse::Csr()> build) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  registry_[name] = Registration{format, std::move(build)};
+}
+
+void SolverDaemon::register_suite() {
+  for (const gen::SuiteSpec& spec : gen::suite()) {
+    const core::Format format = spec.fv_override != 0
+                                    ? core::default_format_fv16()
+                                    : core::default_format();
+    const gen::SuiteSpec* p = &spec;  // suite() spans static storage
+    register_matrix(spec.name, format, [p] {
+      return gen::load_or_build(*p, gen::default_data_dir());
+    });
+  }
+}
+
+std::future<SolveResponse> SolverDaemon::submit(SolveRequest request) {
+  PendingRequest pending;
+  pending.request = std::move(request);
+  pending.submit_time = Clock::now();
+  std::future<SolveResponse> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.submitted;
+  }
+  if (!queue_.try_push(std::move(pending))) {
+    // try_push consumes `pending` only on success; a rejected request is
+    // still ours to answer. Closed queue = shutting down, full queue =
+    // admission-control shed.
+    pending.dequeue_time = pending.submit_time;
+    respond_shed(std::move(pending), queue_.closed()
+                                         ? ResponseStatus::kShutdown
+                                         : ResponseStatus::kShedQueueFull);
+  }
+  return future;
+}
+
+void SolverDaemon::pump(TimePoint now) {
+  // Manual mode only; the threaded dispatcher owns the batcher otherwise.
+  while (auto item = queue_.try_pop()) {
+    item->dequeue_time = Clock::now();
+    batcher_.add(std::move(*item), now);
+  }
+  step(now, queue_.closed());
+}
+
+void SolverDaemon::dispatch_loop() {
+  for (;;) {
+    std::optional<TimePoint> event = batcher_.next_event();
+    const TimePoint wake =
+        event.value_or(Clock::now() + std::chrono::milliseconds(100));
+    std::optional<PendingRequest> item = queue_.pop_until(wake);
+    const TimePoint now = Clock::now();
+    if (item) {
+      item->dequeue_time = now;
+      batcher_.add(std::move(*item), now);
+      // Opportunistically drain whatever arrived in the same burst so one
+      // wakeup forms one batch instead of k.
+      while (auto more = queue_.try_pop()) {
+        more->dequeue_time = now;
+        batcher_.add(std::move(*more), now);
+      }
+    }
+    const bool closing = queue_.closed() && queue_.size() == 0;
+    step(now, closing);
+    if (closing && batcher_.empty()) return;
+  }
+}
+
+void SolverDaemon::step(TimePoint now, bool force) {
+  std::vector<PendingRequest> shed;
+  for (;;) {
+    std::optional<Batcher::ReadyBatch> ready =
+        batcher_.pop_ready(now, &shed, force);
+    for (PendingRequest& p : shed) {
+      respond_shed(std::move(p), ResponseStatus::kShedDeadline);
+    }
+    shed.clear();
+    if (!ready) break;
+    dispatch_batch(std::move(*ready));
+  }
+}
+
+void SolverDaemon::respond_shed(PendingRequest&& pending,
+                                ResponseStatus status) {
+  SolveResponse response;
+  response.status = status;
+  response.latency.queue_seconds =
+      std::chrono::duration<double>(pending.dequeue_time -
+                                    pending.submit_time)
+          .count();
+  response.latency.total_seconds =
+      std::chrono::duration<double>(Clock::now() - pending.submit_time)
+          .count();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (status == ResponseStatus::kShedDeadline) {
+      ++stats_.shed_deadline;
+    } else if (status == ResponseStatus::kShedQueueFull) {
+      ++stats_.shed_queue_full;
+    } else {
+      ++stats_.failed;
+    }
+  }
+  pending.promise.set_value(std::move(response));
+}
+
+void SolverDaemon::dispatch_batch(Batcher::ReadyBatch&& batch) {
+  Registration reg;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    auto it = registry_.find(batch.matrix);
+    if (it == registry_.end()) {
+      for (PendingRequest& p : batch.requests) {
+        respond_shed(std::move(p), ResponseStatus::kUnknownMatrix);
+      }
+      return;
+    }
+    reg = it->second;
+  }
+
+  util::Timer build_timer;
+  bool cache_hit = false;
+  ResidencyCache::EntryPtr entry;
+  try {
+    const int tiles = config_.tiles;
+    entry = cache_.get_or_build(
+        batch.matrix,
+        [&reg, tiles]() -> ResidencyCache::EntryPtr {
+          util::Timer timer;
+          sparse::Csr a = reg.build();
+          auto built =
+              std::make_shared<ResidentEntry>(core::RefloatMatrix(a, reg.format));
+          // Partition strictly after the RefloatMatrix reached its final
+          // address — TiledPlan borrows a pointer into rf.plan().
+          if (tiles > 1 && built->rf.plan().num_blocks() > 0) {
+            built->tiled = core::TiledPlan::partition(built->rf.plan(),
+                                                      {.tiles = tiles});
+          }
+          if (built->rf.quantized().rows() == built->rf.quantized().cols()) {
+            built->indefinite =
+                built->rf.probe_definiteness().likely_indefinite();
+          }
+          built->bytes =
+              built->rf.resident_bytes() + built->tiled.index_bytes();
+          built->build_seconds = timer.seconds();
+          return built;
+        },
+        &cache_hit);
+  } catch (const std::exception& e) {
+    RF_LOG_ERROR("serve: building \"%s\" failed: %s", batch.matrix.c_str(),
+                 e.what());
+  }
+  if (entry == nullptr) {
+    for (PendingRequest& p : batch.requests) {
+      respond_shed(std::move(p), ResponseStatus::kUnknownMatrix);
+    }
+    return;
+  }
+  const double build_seconds = build_timer.seconds();
+
+  const std::size_t n =
+      static_cast<std::size_t>(entry->rf.quantized().rows());
+
+  // Materialize/validate right-hand sides; answer bad ones before solving.
+  std::vector<PendingRequest> valid;
+  valid.reserve(batch.requests.size());
+  for (PendingRequest& p : batch.requests) {
+    if (p.request.rhs.empty()) {
+      p.request.rhs = seeded_rhs(n, p.request.rhs_seed);
+    }
+    if (p.request.rhs.size() != n) {
+      respond_shed(std::move(p), ResponseStatus::kBadRequest);
+      continue;
+    }
+    valid.push_back(std::move(p));
+  }
+  if (valid.empty()) return;
+
+  const std::size_t k = valid.size();
+  std::vector<double> b(k * n);
+  std::vector<double> tolerances(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    std::copy(valid[c].request.rhs.begin(), valid[c].request.rhs.end(),
+              b.begin() + static_cast<long>(c * n));
+    tolerances[c] = valid[c].request.tolerance;
+  }
+
+  solve::SolveOptions options;
+  options.max_iterations = config_.max_iterations;
+  options.record_trace = false;
+
+  util::Timer solve_timer;
+  solve::RefloatMultiOperator op(entry->rf);
+  solve::BatchedSolveResult result =
+      entry->indefinite
+          ? solve::bicgstab_multi(op, b, k, options, tolerances)
+          : solve::cg_multi(op, b, k, options, tolerances);
+  const double solve_seconds = solve_timer.seconds();
+  const TimePoint done = Clock::now();
+
+  for (std::size_t c = 0; c < k; ++c) {
+    PendingRequest& p = valid[c];
+    SolveResponse response;
+    response.status = ResponseStatus::kOk;
+    response.solve_status = result.columns[c].status;
+    response.iterations = result.columns[c].iterations;
+    response.final_residual = result.columns[c].final_residual;
+    if (p.request.want_solution) {
+      response.solution = std::move(result.columns[c].solution);
+    }
+    response.batch_k = k;
+    response.solver = solver_name_of(entry->indefinite);
+    response.cache_hit = cache_hit;
+    response.latency.queue_seconds =
+        std::chrono::duration<double>(p.dequeue_time - p.submit_time).count();
+    response.latency.build_seconds = cache_hit ? 0.0 : build_seconds;
+    response.latency.solve_seconds = solve_seconds;
+    response.latency.total_seconds =
+        std::chrono::duration<double>(done - p.submit_time).count();
+    record_completion(response);
+    p.promise.set_value(std::move(response));
+  }
+
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.batches;
+  stats_.batched_requests += k;
+  stats_.max_batch_k = std::max<std::uint64_t>(stats_.max_batch_k, k);
+}
+
+void SolverDaemon::record_completion(const SolveResponse& response) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.completed;
+  stats_.queue_seconds_sum += response.latency.queue_seconds;
+  stats_.build_seconds_sum += response.latency.build_seconds;
+  stats_.solve_seconds_sum += response.latency.solve_seconds;
+  stats_.total_seconds_sum += response.latency.total_seconds;
+  if (total_ms_reservoir_.size() < kMaxReservoir) {
+    total_ms_reservoir_.push_back(response.latency.total_seconds * 1e3);
+  }
+}
+
+void SolverDaemon::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  queue_.close();
+  if (dispatcher_.joinable()) {
+    dispatcher_.join();
+  } else {
+    // Manual mode: flush whatever is still queued or batched.
+    pump(Clock::now());
+  }
+}
+
+ServeStats SolverDaemon::stats() const {
+  ServeStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out = stats_;
+    out.p50_total_ms = util::percentile(total_ms_reservoir_, 50.0);
+    out.p99_total_ms = util::percentile(total_ms_reservoir_, 99.0);
+  }
+  out.cache = cache_.stats();
+  return out;
+}
+
+void SolverDaemon::print_stats() const {
+  const ServeStats s = stats();
+  util::Table table({"metric", "value"});
+  const auto u64 = [](std::uint64_t v) {
+    return util::fmt_i(static_cast<long long>(v));
+  };
+  table.add_row({"submitted", u64(s.submitted)});
+  table.add_row({"completed", u64(s.completed)});
+  table.add_row({"shed (queue full)", u64(s.shed_queue_full)});
+  table.add_row({"shed (deadline)", u64(s.shed_deadline)});
+  table.add_row({"failed", u64(s.failed)});
+  table.add_row({"batches", u64(s.batches)});
+  table.add_row({"mean batch k", util::fmt_f(s.mean_batch_k(), 2)});
+  table.add_row({"max batch k", u64(s.max_batch_k)});
+  table.add_row({"cache hits", u64(s.cache.hits)});
+  table.add_row({"cache misses", u64(s.cache.misses)});
+  table.add_row({"cache evictions", u64(s.cache.evictions)});
+  table.add_row({"resident matrices", u64(s.cache.resident_count)});
+  table.add_row({"resident bytes", u64(s.cache.resident_bytes)});
+  table.add_row({"p50 total", util::fmt_duration(s.p50_total_ms * 1e-3)});
+  table.add_row({"p99 total", util::fmt_duration(s.p99_total_ms * 1e-3)});
+  if (s.completed > 0) {
+    const double inv = 1.0 / static_cast<double>(s.completed);
+    table.add_row({"mean queue wait",
+                   util::fmt_duration(s.queue_seconds_sum * inv)});
+    table.add_row({"mean build", util::fmt_duration(s.build_seconds_sum * inv)});
+    table.add_row({"mean solve", util::fmt_duration(s.solve_seconds_sum * inv)});
+    table.add_row({"mean total", util::fmt_duration(s.total_seconds_sum * inv)});
+  }
+  table.print();
+}
+
+}  // namespace refloat::serve

@@ -1,0 +1,103 @@
+// LRU residency cache of built matrices — the serving-layer embodiment of
+// the paper's core economics: programming a matrix into ReRAM (here:
+// quantizing into a RefloatMatrix, building its SpmvPlan, partitioning the
+// TiledPlan, probing definiteness) is the expensive step, and it should be
+// paid once per resident matrix, then amortized across every solve that
+// hits it.
+//
+// Capacity is byte-accounted (RefloatMatrix::resident_bytes + the tiled
+// shard index), not entry-counted, so one huge matrix and many small ones
+// budget against the same limit. Lookups are single-flight: when two
+// threads request the same cold matrix, exactly one runs the builder while
+// the other waits on it — never two concurrent builds of the same key
+// (tests/test_lru_cache.cc pins this under TSan).
+//
+// Entries are handed out as shared_ptr<const ...>: eviction removes a
+// matrix from the byte budget immediately, but in-flight solves keep their
+// entry alive until they finish — eviction can never invalidate a batch
+// mid-solve.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/refloat_matrix.h"
+#include "src/core/tiled_plan.h"
+
+namespace refloat::serve {
+
+// One resident matrix: the built RefloatMatrix plus its tile partition
+// (views into rf.plan(); empty when running untiled). `tiled` MUST be
+// partitioned only after `rf` reached its final address — the TiledPlan
+// borrows a pointer to rf's plan.
+struct ResidentEntry {
+  explicit ResidentEntry(core::RefloatMatrix matrix) : rf(std::move(matrix)) {}
+
+  core::RefloatMatrix rf;
+  core::TiledPlan tiled;
+  std::size_t bytes = 0;       // what the cache budgets for this entry
+  bool indefinite = false;     // probe_definiteness routing verdict
+  double build_seconds = 0.0;  // one-time cost the residency amortizes
+};
+
+class ResidencyCache {
+ public:
+  using EntryPtr = std::shared_ptr<const ResidentEntry>;
+  using Builder = std::function<EntryPtr()>;
+
+  explicit ResidencyCache(std::size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  // Returns the resident entry for `key`, building it via `build` on a
+  // miss (single-flight; see file comment). An entry whose bytes exceed
+  // the whole capacity is returned but never cached (counted as oversize).
+  // If the builder throws, the in-flight marker is cleared and the
+  // exception propagates to the thread that ran the builder; waiters retry.
+  EntryPtr get_or_build(const std::string& key, const Builder& build,
+                        bool* cache_hit = nullptr);
+
+  struct CacheStats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t builds = 0;      // builder invocations that completed
+    std::size_t evictions = 0;
+    std::size_t oversize = 0;    // built entries too large to ever cache
+    std::size_t resident_count = 0;
+    std::size_t resident_bytes = 0;
+    std::size_t capacity_bytes = 0;
+  };
+  [[nodiscard]] CacheStats stats() const;
+
+  // Resident keys in eviction order (least recently used first) — the
+  // observable the LRU tests pin.
+  [[nodiscard]] std::vector<std::string> keys_lru_to_mru() const;
+
+  // Drops every resident entry (in-flight builds are unaffected).
+  void clear();
+
+ private:
+  struct Slot {
+    EntryPtr entry;  // null while the builder is in flight
+    std::list<std::string>::iterator lru_it;
+  };
+
+  // Evicts least-recently-used entries until the budget fits. Caller holds
+  // mutex_.
+  void evict_to_fit();
+
+  const std::size_t capacity_bytes_;
+  mutable std::mutex mutex_;
+  std::condition_variable built_cv_;
+  std::unordered_map<std::string, Slot> slots_;
+  std::list<std::string> lru_;  // front = least recently used
+  CacheStats stats_;
+};
+
+}  // namespace refloat::serve

@@ -1,0 +1,230 @@
+#include "src/serve/tcp_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/serve/daemon.h"
+#include "src/util/log.h"
+#include "src/util/table.h"
+
+namespace refloat::serve {
+
+namespace {
+
+// Loopback-only listener; never binds a routable interface.
+int make_listener(std::uint16_t port, std::uint16_t* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("serve: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 64) < 0) {
+    ::close(fd);
+    throw std::runtime_error("serve: bind/listen on 127.0.0.1 failed");
+  }
+  sockaddr_in actual{};
+  socklen_t len = sizeof(actual);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) < 0) {
+    ::close(fd);
+    throw std::runtime_error("serve: getsockname failed");
+  }
+  *bound_port = ntohs(actual.sin_port);
+  return fd;
+}
+
+bool send_all(int fd, const std::string& text) {
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t n = ::send(fd, text.data() + off, text.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+double ms(double seconds) { return seconds * 1e3; }
+
+std::string shed_reason(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kShedQueueFull: return "queue_full";
+    case ResponseStatus::kShedDeadline: return "deadline";
+    case ResponseStatus::kShutdown: return "shutdown";
+    default: return response_status_name(status);
+  }
+}
+
+}  // namespace
+
+TcpServer::TcpServer(SolverDaemon& daemon, std::uint16_t port)
+    : daemon_(daemon) {
+  listen_fd_ = make_listener(port, &port_);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::stop() {
+  if (stopping_.exchange(true)) return;
+  // shutdown() unblocks accept()/recv() so every thread exits promptly.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    for (int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers.swap(workers_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TcpServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load() || (errno != EINTR && errno != ECONNABORTED)) {
+        return;
+      }
+      continue;
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    open_fds_.push_back(fd);
+    workers_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void TcpServer::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[1024];
+  bool quit = false;
+  while (!quit && !stopping_.load()) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t nl;
+    while (!quit && (nl = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      const std::string reply = handle_line(daemon_, line, &quit);
+      if (!send_all(fd, reply + "\n")) {
+        quit = true;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+std::string TcpServer::handle_line(SolverDaemon& daemon,
+                                   const std::string& line, bool* quit) {
+  *quit = false;
+  std::istringstream in(line);
+  std::string verb;
+  in >> verb;
+  if (verb.empty()) return "ERR empty line";
+  if (verb == "PING") return "PONG";
+  if (verb == "QUIT") {
+    *quit = true;
+    return "BYE";
+  }
+  if (verb == "STATS") {
+    const ServeStats s = daemon.stats();
+    std::ostringstream out;
+    out << "STATS submitted=" << s.submitted << " completed=" << s.completed
+        << " shed_queue=" << s.shed_queue_full
+        << " shed_deadline=" << s.shed_deadline << " failed=" << s.failed
+        << " batches=" << s.batches << " mean_k=" << s.mean_batch_k()
+        << " cache_hits=" << s.cache.hits << " cache_misses=" << s.cache.misses
+        << " resident=" << s.cache.resident_count
+        << " p50_ms=" << s.p50_total_ms << " p99_ms=" << s.p99_total_ms;
+    return out.str();
+  }
+  if (verb != "SOLVE") return "ERR unknown verb \"" + verb + "\"";
+
+  SolveRequest request;
+  request.want_solution = false;  // the wire carries the verdict, not x
+  in >> request.matrix;
+  if (request.matrix.empty()) return "ERR SOLVE needs a matrix name";
+  std::string option;
+  while (in >> option) {
+    const std::size_t eq = option.find('=');
+    if (eq == std::string::npos) return "ERR malformed option \"" + option + "\"";
+    const std::string key = option.substr(0, eq);
+    const std::string value = option.substr(eq + 1);
+    char* end = nullptr;
+    if (key == "tol") {
+      request.tolerance = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || !(request.tolerance > 0)) {
+        return "ERR bad tol \"" + value + "\"";
+      }
+    } else if (key == "deadline_ms") {
+      const double dms = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || !(dms >= 0)) {
+        return "ERR bad deadline_ms \"" + value + "\"";
+      }
+      request.deadline =
+          Clock::now() + std::chrono::duration_cast<Duration>(
+                             std::chrono::duration<double, std::milli>(dms));
+    } else if (key == "rhs") {
+      if (value.rfind("seed:", 0) != 0) {
+        return "ERR rhs must be seed:<u64>";
+      }
+      const std::string seed_text = value.substr(5);
+      request.rhs_seed = std::strtoull(seed_text.c_str(), &end, 10);
+      if (end == seed_text.c_str() || *end != '\0') {
+        return "ERR bad rhs seed \"" + seed_text + "\"";
+      }
+    } else {
+      return "ERR unknown option \"" + key + "\"";
+    }
+  }
+
+  SolveResponse response = daemon.submit(std::move(request)).get();
+  if (response.status == ResponseStatus::kOk) {
+    std::ostringstream out;
+    out << "OK status=" << solve::status_name(response.solve_status)
+        << " iters=" << response.iterations
+        << " residual=" << response.final_residual
+        << " k=" << response.batch_k << " solver=" << response.solver
+        << " hit=" << (response.cache_hit ? 1 : 0)
+        << " queue_ms=" << ms(response.latency.queue_seconds)
+        << " build_ms=" << ms(response.latency.build_seconds)
+        << " solve_ms=" << ms(response.latency.solve_seconds)
+        << " total_ms=" << ms(response.latency.total_seconds);
+    return out.str();
+  }
+  if (response.status == ResponseStatus::kShedQueueFull ||
+      response.status == ResponseStatus::kShedDeadline ||
+      response.status == ResponseStatus::kShutdown) {
+    return "SHED reason=" + shed_reason(response.status);
+  }
+  return std::string("ERR ") + response_status_name(response.status);
+}
+
+}  // namespace refloat::serve

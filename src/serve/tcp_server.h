@@ -1,0 +1,66 @@
+// Minimal TCP line-protocol front-end over a SolverDaemon (loopback only —
+// this is the "requests arrive over a wire" demonstrator of ROADMAP item 1,
+// not a hardened network service).
+//
+// Protocol: one request per '\n'-terminated line, one response line each.
+//   SOLVE <matrix> [tol=<double>] [deadline_ms=<double>] [rhs=seed:<u64>]
+//     -> OK status=ok iters=... residual=... k=... solver=... hit=0|1
+//           queue_ms=... build_ms=... solve_ms=... total_ms=...
+//     -> SHED reason=queue_full|deadline|shutdown
+//     -> ERR <message>
+//   STATS  -> one line of counters
+//   PING   -> PONG
+//   QUIT   -> BYE (closes the connection)
+//
+// Solutions never travel over the wire (want_solution = false): the wire
+// carries the solve verdict, the vector stays server-side — matching the
+// accelerator story where x lives next to the crossbars.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace refloat::serve {
+
+class SolverDaemon;
+
+class TcpServer {
+ public:
+  // Binds 127.0.0.1:port (port 0 picks an ephemeral port — read it back
+  // via port()) and starts the accept thread. Throws std::runtime_error
+  // when the socket cannot be bound.
+  TcpServer(SolverDaemon& daemon, std::uint16_t port = 0);
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  // Stops accepting, closes the listener and every open connection, joins
+  // all threads. Idempotent; the destructor calls it.
+  void stop();
+
+  // Parses one request line and produces the response line (no trailing
+  // newline). Factored out of the connection loop so tests can exercise
+  // the protocol without sockets.
+  static std::string handle_line(SolverDaemon& daemon, const std::string& line,
+                                 bool* quit);
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  SolverDaemon& daemon_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+  std::vector<int> open_fds_;
+};
+
+}  // namespace refloat::serve

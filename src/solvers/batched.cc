@@ -49,6 +49,22 @@ void finalize(ColumnState& col, SolveStatus status, long k) {
   col.done = true;
 }
 
+// Materializes the per-column SolveOptions the monitors reference: a copy
+// of `options` per column, with tolerances[c] (when provided) replacing
+// options.tolerance. The vector must outlive the ColumnStates — Monitor
+// holds its options by reference.
+std::vector<SolveOptions> column_options(const SolveOptions& options,
+                                         std::size_t k,
+                                         std::span<const double> tolerances) {
+  std::vector<SolveOptions> opts(k, options);
+  if (!tolerances.empty()) {
+    for (std::size_t c = 0; c < k && c < tolerances.size(); ++c) {
+      opts[c].tolerance = tolerances[c];
+    }
+  }
+  return opts;
+}
+
 void drop_done(std::vector<std::size_t>& active,
                const std::vector<ColumnState>& cols) {
   active.erase(std::remove_if(active.begin(), active.end(),
@@ -93,9 +109,12 @@ void batched_apply(MultiOperator& op, const std::vector<std::size_t>& active,
 }  // namespace
 
 BatchedSolveResult cg_multi(MultiOperator& op, std::span<const double> b,
-                            std::size_t k, const SolveOptions& options) {
+                            std::size_t k, const SolveOptions& options,
+                            std::span<const double> tolerances) {
   const std::size_t n = static_cast<std::size_t>(op.dim());
   BatchedSolveResult batch;
+  const std::vector<SolveOptions> col_opts =
+      column_options(options, k, tolerances);
   std::vector<ColumnState> cols;
   cols.reserve(k);
   std::vector<double> x(k * n, 0.0);
@@ -108,7 +127,7 @@ BatchedSolveResult cg_multi(MultiOperator& op, std::span<const double> b,
   std::vector<double> out_buf;
 
   for (std::size_t c = 0; c < k; ++c) {
-    cols.emplace_back(options);
+    cols.emplace_back(col_opts[c]);
     rho[c] = sparse::dot(column(r, c, n), column(r, c, n));
     cols[c].rnorm = std::sqrt(rho[c]);
     if (options.record_trace) cols[c].result.trace.push_back(cols[c].rnorm);
@@ -162,9 +181,12 @@ BatchedSolveResult cg_multi(MultiOperator& op, std::span<const double> b,
 
 BatchedSolveResult bicgstab_multi(MultiOperator& op,
                                   std::span<const double> b, std::size_t k,
-                                  const SolveOptions& options) {
+                                  const SolveOptions& options,
+                                  std::span<const double> tolerances) {
   const std::size_t n = static_cast<std::size_t>(op.dim());
   BatchedSolveResult batch;
+  const std::vector<SolveOptions> col_opts =
+      column_options(options, k, tolerances);
   std::vector<ColumnState> cols;
   cols.reserve(k);
   std::vector<double> x(k * n, 0.0);
@@ -188,7 +210,7 @@ BatchedSolveResult bicgstab_multi(MultiOperator& op,
   std::vector<double> out_buf;
 
   for (std::size_t c = 0; c < k; ++c) {
-    cols.emplace_back(options);
+    cols.emplace_back(col_opts[c]);
     cols[c].rnorm = sparse::norm2(column(r, c, n));
     best_since_restart[c] = cols[c].rnorm;
     if (options.record_trace) cols[c].result.trace.push_back(cols[c].rnorm);
@@ -259,7 +281,7 @@ BatchedSolveResult bicgstab_multi(MultiOperator& op,
       const auto sc = column(s, c, n);
       for (std::size_t i = 0; i < n; ++i) sc[i] = rc[i] - alpha[c] * vc[i];
       const double snorm = sparse::norm2(sc);
-      if (snorm <= options.tolerance) {
+      if (snorm <= col_opts[c].tolerance) {
         sparse::axpy(alpha[c], column(p, c, n), column(x, c, n));
         cols[c].rnorm = snorm;
         if (options.record_trace) {

@@ -95,14 +95,23 @@ struct BatchedSolveResult {
 // Lockstep CG on k right-hand sides. `b` holds k column-major vectors of
 // op.dim() entries each. Column j's result is bit-identical to
 // cg(op_single, column j, options).
+//
+// `tolerances` (empty, or exactly k entries) overrides options.tolerance
+// per column — the serving layer batches same-matrix requests that arrive
+// with different tolerances, and each column must still terminate exactly
+// as its solo solve would. Column j with tolerances[j] = t is bit-identical
+// to the serial solver run with options.tolerance = t.
 BatchedSolveResult cg_multi(MultiOperator& op, std::span<const double> b,
-                            std::size_t k, const SolveOptions& options);
+                            std::size_t k, const SolveOptions& options,
+                            std::span<const double> tolerances = {});
 
 // Lockstep BiCGSTAB (same contract, including the restart rescue and the
-// early s-norm exit of the serial implementation).
+// early s-norm exit of the serial implementation — the early exit also
+// honors the per-column tolerance).
 BatchedSolveResult bicgstab_multi(MultiOperator& op,
                                   std::span<const double> b, std::size_t k,
-                                  const SolveOptions& options);
+                                  const SolveOptions& options,
+                                  std::span<const double> tolerances = {});
 
 // k deterministic right-hand sides (column-major), each scaled to
 // ||b_j|| = norm: column 0 is make_rhs(a, norm); later columns perturb the

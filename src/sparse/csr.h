@@ -42,6 +42,14 @@ class Csr {
   [[nodiscard]] std::span<const double> values() const { return values_; }
   [[nodiscard]] std::span<double> mutable_values() { return values_; }
 
+  // Heap bytes the three CSR arrays pin — the host-memory side of the
+  // serving layer's residency accounting (core::RefloatMatrix::
+  // resident_bytes sums this with the plan payload).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return row_ptr_.size() * sizeof(Index) + col_idx_.size() * sizeof(Index) +
+           values_.size() * sizeof(double);
+  }
+
   // y = A x. x must have cols() entries, y rows() entries.
   void spmv(std::span<const double> x, std::span<double> y) const;
 

@@ -1,0 +1,126 @@
+// Bounded multi-producer/multi-consumer queue — the admission-control edge
+// of the serving layer (src/serve/). Producers are request submitters
+// (in-process callers, TCP connection threads); the consumer is the
+// daemon's dispatch loop.
+//
+// Admission contract: try_push never blocks — a full queue returns false so
+// the caller can shed the request immediately instead of building backlog
+// (the "shed-on-full" policy ISSUE/ROADMAP item 1 calls for). Blocking
+// push exists for tests and closed-loop load generators that *want*
+// backpressure. close() wakes every waiter; pops drain the remaining items
+// before reporting exhaustion so no accepted item is ever dropped.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace refloat::util {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  // Capacity must be >= 1 (a zero-capacity queue would shed everything).
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Non-blocking admission: false when full or closed (the caller sheds).
+  // `value` is consumed only on success — a rejected item stays intact so
+  // the caller can still answer its promise.
+  bool try_push(T&& value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocking admission (backpressure): waits for space; false when closed
+  // (and `value` is then left intact, as with try_push).
+  bool push(T&& value) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking pop; nullopt when currently empty.
+  std::optional<T> try_pop() {
+    std::optional<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (items_.empty()) return std::nullopt;
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  // Blocks until an item arrives, `deadline` passes, or the queue is closed
+  // AND drained. nullopt = timeout or exhaustion (check closed() to tell).
+  std::optional<T> pop_until(std::chrono::steady_clock::time_point deadline) {
+    std::optional<T> out;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait_until(lock, deadline,
+                            [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  // Blocks until an item arrives or the queue is closed and drained.
+  std::optional<T> pop() {
+    return pop_until(std::chrono::steady_clock::time_point::max());
+  }
+
+  // Rejects future pushes and wakes every blocked producer/consumer.
+  // Already-queued items remain poppable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace refloat::util

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <memory>
 
+#include "src/util/log.h"
+
 #if defined(__linux__)
 #include <pthread.h>
 #include <sched.h>
@@ -15,12 +17,17 @@ namespace {
 
 enum class AffinityMode { kOff, kCompact, kSpread };
 
+// Cached per process: pin_worker consults this once per spawned worker and
+// a typo'd $REFLOAT_AFFINITY should warn once, not once per thread.
 AffinityMode affinity_mode() {
-  const char* env = std::getenv("REFLOAT_AFFINITY");
-  if (env == nullptr) return AffinityMode::kOff;
-  if (std::strcmp(env, "compact") == 0) return AffinityMode::kCompact;
-  if (std::strcmp(env, "spread") == 0) return AffinityMode::kSpread;
-  return AffinityMode::kOff;
+  static const AffinityMode mode = [] {
+    const char* name = ThreadPool::parse_affinity(
+        std::getenv("REFLOAT_AFFINITY"));
+    if (std::strcmp(name, "compact") == 0) return AffinityMode::kCompact;
+    if (std::strcmp(name, "spread") == 0) return AffinityMode::kSpread;
+    return AffinityMode::kOff;
+  }();
+  return mode;
 }
 
 // Pins worker `slot` (1-based; slot 0 is the unpinned caller) to one core.
@@ -146,15 +153,44 @@ void ThreadPool::parallel_for(std::size_t n,
   job_ = nullptr;
 }
 
-int ThreadPool::default_threads() {
-  if (const char* env = std::getenv("REFLOAT_THREADS")) {
-    if (env[0] != '\0') {
-      // A set variable always wins; values < 1 (incl. unparseable) clamp to
-      // 1 — REFLOAT_THREADS=0 must mean serial, never full concurrency.
-      const long parsed = std::strtol(env, nullptr, 10);
-      return parsed >= 1 ? static_cast<int>(parsed) : 1;
-    }
+int ThreadPool::parse_threads(const char* text, bool* warned) {
+  if (warned != nullptr) *warned = false;
+  if (text == nullptr || text[0] == '\0') return 0;  // unset -> hw default
+  char* end = nullptr;
+  const long parsed = std::strtol(text, &end, 10);
+  const bool garbage = (end == text) || (end != nullptr && *end != '\0');
+  // A set variable always wins; values < 1 (incl. unparseable) clamp to 1 —
+  // REFLOAT_THREADS=0 must mean serial, never full concurrency.
+  long clamped = parsed;
+  if (garbage && end == text) clamped = 1;
+  if (clamped < 1) clamped = 1;
+  if (clamped > kMaxThreads) clamped = kMaxThreads;
+  if (garbage || clamped != parsed) {
+    if (warned != nullptr) *warned = true;
+    RF_LOG_WARN("REFLOAT_THREADS=\"%s\" is not an integer in [1, %d]; "
+                "using %ld",
+                text, kMaxThreads, clamped);
   }
+  return static_cast<int>(clamped);
+}
+
+const char* ThreadPool::parse_affinity(const char* text, bool* warned) {
+  if (warned != nullptr) *warned = false;
+  if (text == nullptr || text[0] == '\0') return "off";
+  if (std::strcmp(text, "compact") == 0) return "compact";
+  if (std::strcmp(text, "spread") == 0) return "spread";
+  if (std::strcmp(text, "off") != 0) {
+    if (warned != nullptr) *warned = true;
+    RF_LOG_WARN("REFLOAT_AFFINITY=\"%s\" is not compact|spread|off; "
+                "workers stay unpinned",
+                text);
+  }
+  return "off";
+}
+
+int ThreadPool::default_threads() {
+  const int parsed = parse_threads(std::getenv("REFLOAT_THREADS"));
+  if (parsed >= 1) return parsed;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw >= 1 ? static_cast<int>(hw) : 1;
 }
@@ -173,12 +209,9 @@ void ThreadPool::set_global_threads(int threads) {
 }
 
 const char* ThreadPool::affinity_mode_name() {
-  switch (affinity_mode()) {
-    case AffinityMode::kCompact: return "compact";
-    case AffinityMode::kSpread: return "spread";
-    case AffinityMode::kOff: break;
-  }
-  return "off";
+  // Fresh parse (not the pin_worker cache): bench self-description and the
+  // env-parsing tests read the variable as it is now.
+  return parse_affinity(std::getenv("REFLOAT_AFFINITY"));
 }
 
 }  // namespace refloat::util

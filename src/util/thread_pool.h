@@ -55,6 +55,24 @@ class ThreadPool {
   // std::thread::hardware_concurrency() (min 1).
   static int default_threads();
 
+  // Hard ceiling on the parsed pool size: beyond this, more fork-join
+  // workers only add wakeup latency (shards are claimed dynamically), so
+  // larger requests clamp with a warning instead of spawning them.
+  static constexpr int kMaxThreads = 512;
+
+  // Parses a $REFLOAT_THREADS value. nullptr/empty (unset) returns 0 —
+  // "use the hardware default". Garbage and values < 1 clamp to 1 (a set
+  // variable must never mean full concurrency), values above kMaxThreads
+  // clamp down; every clamp warns once per call and sets *warned when
+  // provided. Exposed so tests can pin the parsing table directly.
+  static int parse_threads(const char* text, bool* warned = nullptr);
+
+  // Parses a $REFLOAT_AFFINITY value into its canonical mode name:
+  // "compact", "spread", or "off". nullptr/empty is off silently;
+  // unrecognized non-empty values warn (and set *warned) and fall back to
+  // off rather than silently dropping a typo'd pinning request.
+  static const char* parse_affinity(const char* text, bool* warned = nullptr);
+
   // Replaces the global pool (tests and benches sweeping thread counts).
   // Must not race in-flight parallel work.
   static void set_global_threads(int threads);

@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
+#include "src/core/simd.h"
 #include "src/util/random.h"
 
 namespace refloat::core {
@@ -152,6 +155,54 @@ TEST(Format, QuantizeSpanBitIdenticalToQuantizeValue) {
       }
     }
   }
+}
+
+// Randomized span/scalar equivalence across exponent extremes under every
+// dispatched ISA. quantize_span's contract is bit-exactness to per-element
+// quantize_value on ALL inputs — including the branch-light fast path's
+// edge cases (±0, denormal inputs, gradual-underflow outputs, the f = 52
+// no-rounding fallback) and on every SIMD backend the host can dispatch.
+TEST(Format, SpanMatchesValueBitExactlyAcrossIsasProperty) {
+  std::vector<double> values;
+  values.push_back(0.0);
+  values.push_back(-0.0);
+  values.push_back(std::numeric_limits<double>::denorm_min());
+  values.push_back(-std::numeric_limits<double>::denorm_min());
+  values.push_back(std::numeric_limits<double>::min());
+  values.push_back(std::numeric_limits<double>::max());
+  values.push_back(-std::numeric_limits<double>::max());
+  util::Rng rng(0xf0124u);  // deterministic: failures must reproduce
+  for (int i = 0; i < 1024; ++i) {
+    // Mantissas across the full exponent range, denormals included.
+    const int exponent = static_cast<int>(rng.below(2098)) - 1074;
+    values.push_back(std::ldexp(1.0 + rng.uniform(), exponent) *
+                     (rng.below(2) == 0 ? 1.0 : -1.0));
+  }
+
+  const SimdIsa initial = simd_active_isa();
+  for (const SimdIsa isa : {SimdIsa::kScalar, SimdIsa::kAvx2, SimdIsa::kNeon}) {
+    if (!simd_isa_supported(isa)) continue;
+    simd_set_isa(isa);
+    for (const int base : {-1070, -1022, -300, 0, 300, 1023}) {
+      for (const int e_bits : {3, 4}) {
+        for (const int f_bits : {3, 16, 52}) {  // 52: the no-rounding path
+          const QuantPolicy policy;
+          std::vector<double> out(values.size());
+          quantize_span(values, base, e_bits, f_bits, policy, out);
+          for (std::size_t i = 0; i < values.size(); ++i) {
+            const double want = quantize_value(values[i], base, e_bits,
+                                               f_bits, policy, nullptr);
+            // Bitwise, not value, equality: -0.0 vs 0.0 must match too.
+            EXPECT_EQ(std::bit_cast<std::uint64_t>(out[i]),
+                      std::bit_cast<std::uint64_t>(want))
+                << "isa=" << static_cast<int>(isa) << " v=" << values[i]
+                << " base=" << base << " e=" << e_bits << " f=" << f_bits;
+          }
+        }
+      }
+    }
+  }
+  simd_set_isa(initial);
 }
 
 }  // namespace

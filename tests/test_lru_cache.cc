@@ -1,0 +1,157 @@
+// ResidencyCache contract: least-recently-used eviction in byte-accounted
+// capacity, oversize entries served but never cached, rebuilds after
+// eviction, and single-flight builds — two threads requesting the same
+// cold matrix run the builder exactly once (pinned under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/gen/grid.h"
+#include "src/serve/residency_cache.h"
+
+namespace refloat::serve {
+namespace {
+
+// A tiny real entry whose byte charge the test controls explicitly, so
+// capacity scenarios are exact instead of depending on plan layout.
+ResidencyCache::EntryPtr make_entry(std::size_t bytes) {
+  core::Format fmt = core::default_format();
+  fmt.b = 2;
+  auto entry = std::make_shared<ResidentEntry>(
+      core::RefloatMatrix(gen::build_stencil(gen::laplace2d_5pt(4, 3)), fmt));
+  entry->bytes = bytes;
+  return entry;
+}
+
+ResidencyCache::Builder builder_of(std::size_t bytes, int* count = nullptr) {
+  return [bytes, count]() -> ResidencyCache::EntryPtr {
+    if (count != nullptr) ++*count;
+    return make_entry(bytes);
+  };
+}
+
+TEST(ResidencyCache, EvictsLeastRecentlyUsed) {
+  ResidencyCache cache(3000);
+  cache.get_or_build("A", builder_of(1000));
+  cache.get_or_build("B", builder_of(1000));
+  cache.get_or_build("C", builder_of(1000));
+  EXPECT_EQ(cache.keys_lru_to_mru(), (std::vector<std::string>{"A", "B", "C"}));
+
+  // Touch A: B becomes the eviction candidate.
+  bool hit = false;
+  cache.get_or_build("A", builder_of(1000), &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(cache.keys_lru_to_mru(), (std::vector<std::string>{"B", "C", "A"}));
+
+  cache.get_or_build("D", builder_of(1000));
+  EXPECT_EQ(cache.keys_lru_to_mru(), (std::vector<std::string>{"C", "A", "D"}));
+
+  const ResidencyCache::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.resident_count, 3u);
+  EXPECT_EQ(stats.resident_bytes, 3000u);
+}
+
+TEST(ResidencyCache, ByteCapacityNotEntryCount) {
+  ResidencyCache cache(3800);
+  cache.get_or_build("small1", builder_of(500));
+  cache.get_or_build("small2", builder_of(500));
+  cache.get_or_build("small3", builder_of(500));
+  EXPECT_EQ(cache.stats().resident_count, 3u);
+
+  // One 3000-byte entry displaces two small ones (1500 + 3000 > 3800,
+  // 1000 + 3000 > 3800, 500 + 3000 <= 3800) — the budget is bytes, not
+  // slots.
+  cache.get_or_build("large", builder_of(3000));
+  const ResidencyCache::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.resident_count, 2u);
+  EXPECT_EQ(stats.resident_bytes, 3500u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(cache.keys_lru_to_mru(),
+            (std::vector<std::string>{"small3", "large"}));
+}
+
+TEST(ResidencyCache, OversizeServedButNeverCached) {
+  ResidencyCache cache(1000);
+  int builds = 0;
+  const ResidencyCache::EntryPtr entry =
+      cache.get_or_build("huge", builder_of(5000, &builds));
+  ASSERT_NE(entry, nullptr);  // the caller still gets a working entry
+  EXPECT_EQ(entry->bytes, 5000u);
+  const ResidencyCache::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.oversize, 1u);
+  EXPECT_EQ(stats.resident_count, 0u);
+  EXPECT_EQ(stats.resident_bytes, 0u);
+  EXPECT_TRUE(cache.keys_lru_to_mru().empty());
+
+  // Every request re-runs the builder: oversize never becomes resident.
+  cache.get_or_build("huge", builder_of(5000, &builds));
+  EXPECT_EQ(builds, 2);
+}
+
+TEST(ResidencyCache, RebuildsAfterEviction) {
+  ResidencyCache cache(1000);
+  int builds_a = 0;
+  cache.get_or_build("A", builder_of(800, &builds_a));
+  cache.get_or_build("B", builder_of(800));  // evicts A
+  EXPECT_EQ(cache.keys_lru_to_mru(), (std::vector<std::string>{"B"}));
+
+  bool hit = true;
+  cache.get_or_build("A", builder_of(800, &builds_a), &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(builds_a, 2);  // evicted -> full rebuild, not a stale handle
+  const ResidencyCache::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.builds, 3u);
+}
+
+TEST(ResidencyCache, ClearDropsResidents) {
+  ResidencyCache cache(4000);
+  cache.get_or_build("A", builder_of(1000));
+  cache.get_or_build("B", builder_of(1000));
+  cache.clear();
+  EXPECT_EQ(cache.stats().resident_count, 0u);
+  EXPECT_EQ(cache.stats().resident_bytes, 0u);
+  bool hit = true;
+  cache.get_or_build("A", builder_of(1000), &hit);
+  EXPECT_FALSE(hit);
+}
+
+TEST(ResidencyCache, ColdMatrixBuildsExactlyOnceUnderContention) {
+  ResidencyCache cache(1 << 20);
+  std::atomic<int> builds{0};
+  const ResidencyCache::Builder slow_builder =
+      [&builds]() -> ResidencyCache::EntryPtr {
+    ++builds;
+    // Keep the build in flight long enough that the second thread arrives
+    // while the first still owns the in-flight marker.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return make_entry(1000);
+  };
+
+  ResidencyCache::EntryPtr first;
+  ResidencyCache::EntryPtr second;
+  bool hit_first = false;
+  bool hit_second = false;
+  std::thread t1([&] { first = cache.get_or_build("M", slow_builder,
+                                                  &hit_first); });
+  std::thread t2([&] { second = cache.get_or_build("M", slow_builder,
+                                                   &hit_second); });
+  t1.join();
+  t2.join();
+
+  EXPECT_EQ(builds.load(), 1);  // single-flight: one build, one waiter
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first, second);  // both threads share the same resident entry
+  EXPECT_NE(hit_first, hit_second);  // exactly one of the two was the miss
+  const ResidencyCache::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.builds, 1u);
+}
+
+}  // namespace
+}  // namespace refloat::serve

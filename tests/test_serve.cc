@@ -1,0 +1,399 @@
+// Serving-layer contract: a request answered inside a k-RHS batch is
+// bit-identical to the same solve run solo (the lockstep drivers'
+// guarantee carried end to end through the daemon), batches dispatch on
+// window expiry / fullness / deadline exactly as specified, expired or
+// inadmissible requests shed with the right status, and the threaded
+// daemon survives concurrent submitters (the TSan target).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "src/gen/grid.h"
+#include "src/serve/daemon.h"
+#include "src/solvers/batched.h"
+#include "src/solvers/bicgstab.h"
+#include "src/solvers/cg.h"
+#include "src/solvers/operator.h"
+
+namespace refloat::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+sparse::Csr test_csr() {
+  return gen::build_stencil(gen::laplace2d_5pt(16, 12)).shifted(0.15);
+}
+
+// Centering the spectrum pushes the operator indefinite — the
+// probe-routing test's BiCGSTAB case.
+sparse::Csr indefinite_csr() {
+  return gen::build_stencil(gen::laplace2d_5pt(16, 12)).shifted(-4.0);
+}
+
+core::Format test_format() {
+  core::Format fmt = core::default_format();
+  fmt.b = 4;
+  return fmt;
+}
+
+constexpr const char* kName = "laplace16x12";
+
+ServeConfig manual_config() {
+  ServeConfig config;
+  config.manual_pump = true;
+  config.max_batch = 4;
+  config.batch_window_ms = 2.0;
+  return config;
+}
+
+void register_test_matrix(SolverDaemon& daemon) {
+  daemon.register_matrix(kName, test_format(), [] { return test_csr(); });
+}
+
+bool ready(const std::future<SolveResponse>& f) {
+  return f.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+}
+
+std::future<SolveResponse> submit_rhs(SolverDaemon& daemon,
+                                      std::vector<double> rhs,
+                                      double tolerance = 1e-8) {
+  SolveRequest request;
+  request.matrix = kName;
+  request.rhs = std::move(rhs);
+  request.tolerance = tolerance;
+  return daemon.submit(std::move(request));
+}
+
+std::vector<double> batch_column(const std::vector<double>& b, std::size_t n,
+                                 std::size_t c) {
+  return {b.begin() + static_cast<long>(c * n),
+          b.begin() + static_cast<long>((c + 1) * n)};
+}
+
+// The serial reference a daemon answer must match bit for bit: the same
+// options the daemon uses, differing only in the per-request tolerance.
+solve::SolveResult solo_cg(std::span<const double> b, double tolerance) {
+  const sparse::Csr a = test_csr();
+  const core::RefloatMatrix rf(a, test_format());
+  solve::RefloatOperator op(rf);
+  solve::SolveOptions options;
+  options.tolerance = tolerance;
+  options.record_trace = false;
+  return solve::cg(op, b, options);
+}
+
+TEST(Serve, BatchedBitIdenticalToSolo) {
+  SolverDaemon daemon(manual_config());
+  register_test_matrix(daemon);
+  const sparse::Csr a = test_csr();
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  const std::size_t k = 4;
+  const std::vector<double> b = solve::make_rhs_batch(a, k);
+
+  std::vector<std::future<SolveResponse>> futures;
+  for (std::size_t c = 0; c < k; ++c) {
+    futures.push_back(submit_rhs(daemon, batch_column(b, n, c)));
+  }
+  // max_batch = 4: the batch is full, so the first pump dispatches it
+  // without waiting out the window.
+  daemon.pump(Clock::now());
+
+  for (std::size_t c = 0; c < k; ++c) {
+    ASSERT_TRUE(ready(futures[c])) << "column " << c;
+    const SolveResponse got = futures[c].get();
+    const solve::SolveResult want = solo_cg(batch_column(b, n, c), 1e-8);
+    EXPECT_EQ(got.status, ResponseStatus::kOk);
+    EXPECT_EQ(got.batch_k, k);
+    EXPECT_STREQ(got.solver, "cg");
+    EXPECT_EQ(got.solve_status, want.status) << "column " << c;
+    EXPECT_EQ(got.iterations, want.iterations) << "column " << c;
+    EXPECT_EQ(got.final_residual, want.final_residual) << "column " << c;
+    ASSERT_EQ(got.solution.size(), want.solution.size());
+    for (std::size_t i = 0; i < want.solution.size(); ++i) {
+      ASSERT_EQ(got.solution[i], want.solution[i])
+          << "column " << c << " row " << i;
+    }
+  }
+  const ServeStats stats = daemon.stats();
+  EXPECT_EQ(stats.completed, k);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.max_batch_k, k);
+}
+
+TEST(Serve, BatchWindowExpiry) {
+  SolverDaemon daemon(manual_config());
+  register_test_matrix(daemon);
+  const sparse::Csr a = test_csr();
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  const std::vector<double> b = solve::make_rhs_batch(a, 2);
+
+  const TimePoint t0 = Clock::now();
+  auto f0 = submit_rhs(daemon, batch_column(b, n, 0));
+  auto f1 = submit_rhs(daemon, batch_column(b, n, 1));
+
+  // Two of four: under max_batch, inside the window -> nothing dispatches.
+  daemon.pump(t0);
+  EXPECT_FALSE(ready(f0));
+  EXPECT_FALSE(ready(f1));
+  daemon.pump(t0 + milliseconds(1));
+  EXPECT_FALSE(ready(f0));
+
+  // Past the 2 ms window the partial batch goes out as one k=2 dispatch.
+  daemon.pump(t0 + milliseconds(3));
+  ASSERT_TRUE(ready(f0));
+  ASSERT_TRUE(ready(f1));
+  EXPECT_EQ(f0.get().batch_k, 2u);
+  EXPECT_EQ(f1.get().batch_k, 2u);
+  EXPECT_EQ(daemon.stats().batches, 1u);
+}
+
+TEST(Serve, MixedToleranceBatchMatchesEachSolo) {
+  SolverDaemon daemon(manual_config());
+  register_test_matrix(daemon);
+  const sparse::Csr a = test_csr();
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  const std::vector<double> b = solve::make_rhs_batch(a, 3);
+  const double tolerances[] = {1e-4, 1e-8, 1e-10};
+
+  const TimePoint t0 = Clock::now();
+  std::vector<std::future<SolveResponse>> futures;
+  for (std::size_t c = 0; c < 3; ++c) {
+    futures.push_back(submit_rhs(daemon, batch_column(b, n, c),
+                                 tolerances[c]));
+  }
+  daemon.pump(t0);                    // enqueue into one group at t0
+  daemon.pump(t0 + milliseconds(3));  // window expired -> one k=3 batch
+
+  long prev_iterations = 0;
+  for (std::size_t c = 0; c < 3; ++c) {
+    ASSERT_TRUE(ready(futures[c])) << "column " << c;
+    const SolveResponse got = futures[c].get();
+    const solve::SolveResult want =
+        solo_cg(batch_column(b, n, c), tolerances[c]);
+    EXPECT_EQ(got.batch_k, 3u);
+    EXPECT_EQ(got.iterations, want.iterations) << "column " << c;
+    EXPECT_EQ(got.final_residual, want.final_residual) << "column " << c;
+    ASSERT_EQ(got.solution.size(), want.solution.size());
+    for (std::size_t i = 0; i < want.solution.size(); ++i) {
+      ASSERT_EQ(got.solution[i], want.solution[i])
+          << "column " << c << " row " << i;
+    }
+    // Tighter tolerance in the same batch means strictly more iterations.
+    EXPECT_GT(got.iterations, prev_iterations) << "column " << c;
+    prev_iterations = got.iterations;
+  }
+  EXPECT_EQ(daemon.stats().batches, 1u);
+}
+
+TEST(Serve, DeadlineShedBeforeSolve) {
+  SolverDaemon daemon(manual_config());
+  register_test_matrix(daemon);
+  const sparse::Csr a = test_csr();
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  const std::vector<double> b = solve::make_rhs_batch(a, 1);
+
+  SolveRequest request;
+  request.matrix = kName;
+  request.rhs = batch_column(b, n, 0);
+  request.deadline = Clock::now() - milliseconds(1);  // already expired
+  auto future = daemon.submit(std::move(request));
+
+  daemon.pump(Clock::now());
+  ASSERT_TRUE(ready(future));
+  const SolveResponse response = future.get();
+  EXPECT_EQ(response.status, ResponseStatus::kShedDeadline);
+  EXPECT_TRUE(response.solution.empty());
+  const ServeStats stats = daemon.stats();
+  EXPECT_EQ(stats.shed_deadline, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST(Serve, TightDeadlineDragsBatchForward) {
+  // A member whose deadline lands before the window expiry dispatches the
+  // whole batch at the deadline instead of shedding.
+  SolverDaemon daemon(manual_config());  // 2 ms window
+  register_test_matrix(daemon);
+  const sparse::Csr a = test_csr();
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  const std::vector<double> b = solve::make_rhs_batch(a, 2);
+
+  const TimePoint t0 = Clock::now();
+  auto patient = submit_rhs(daemon, batch_column(b, n, 0));
+  SolveRequest urgent;
+  urgent.matrix = kName;
+  urgent.rhs = batch_column(b, n, 1);
+  urgent.deadline = t0 + milliseconds(1);
+  auto tight = daemon.submit(std::move(urgent));
+
+  daemon.pump(t0);
+  EXPECT_FALSE(ready(patient));
+
+  daemon.pump(t0 + milliseconds(1));  // deadline == now: dispatch, not shed
+  ASSERT_TRUE(ready(patient));
+  ASSERT_TRUE(ready(tight));
+  EXPECT_EQ(patient.get().status, ResponseStatus::kOk);
+  const SolveResponse urgent_response = tight.get();
+  EXPECT_EQ(urgent_response.status, ResponseStatus::kOk);
+  EXPECT_EQ(urgent_response.batch_k, 2u);
+}
+
+TEST(Serve, QueueShedsOnFull) {
+  ServeConfig config = manual_config();
+  config.queue_capacity = 2;
+  SolverDaemon daemon(config);
+  register_test_matrix(daemon);
+  const sparse::Csr a = test_csr();
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  const std::vector<double> b = solve::make_rhs_batch(a, 1);
+
+  auto f0 = submit_rhs(daemon, batch_column(b, n, 0));
+  auto f1 = submit_rhs(daemon, batch_column(b, n, 0));
+  auto f2 = submit_rhs(daemon, batch_column(b, n, 0));  // over capacity
+
+  ASSERT_TRUE(ready(f2));  // answered immediately, never queued
+  EXPECT_EQ(f2.get().status, ResponseStatus::kShedQueueFull);
+  EXPECT_FALSE(ready(f0));
+  EXPECT_EQ(daemon.stats().shed_queue_full, 1u);
+
+  const TimePoint t0 = Clock::now();
+  daemon.pump(t0);
+  daemon.pump(t0 + milliseconds(3));
+  EXPECT_EQ(f0.get().status, ResponseStatus::kOk);
+  EXPECT_EQ(f1.get().status, ResponseStatus::kOk);
+}
+
+TEST(Serve, UnknownMatrixAndBadRhs) {
+  SolverDaemon daemon(manual_config());
+  register_test_matrix(daemon);
+
+  SolveRequest unknown;
+  unknown.matrix = "no_such_matrix";
+  unknown.rhs = {1.0};
+  auto f_unknown = daemon.submit(std::move(unknown));
+
+  SolveRequest bad;
+  bad.matrix = kName;
+  bad.rhs = {1.0, 2.0};  // wrong dimension
+  auto f_bad = daemon.submit(std::move(bad));
+
+  const TimePoint t0 = Clock::now();
+  daemon.pump(t0);
+  daemon.pump(t0 + milliseconds(3));
+  EXPECT_EQ(f_unknown.get().status, ResponseStatus::kUnknownMatrix);
+  EXPECT_EQ(f_bad.get().status, ResponseStatus::kBadRequest);
+  EXPECT_EQ(daemon.stats().failed, 2u);
+}
+
+TEST(Serve, ProbeRoutesIndefiniteToBicgstab) {
+  SolverDaemon daemon(manual_config());
+  register_test_matrix(daemon);
+  daemon.register_matrix("indefinite", test_format(),
+                         [] { return indefinite_csr(); });
+
+  SolveRequest spd;
+  spd.matrix = kName;
+  spd.rhs_seed = 7;
+  spd.want_solution = false;
+  auto f_spd = daemon.submit(std::move(spd));
+
+  SolveRequest indef;
+  indef.matrix = "indefinite";
+  indef.rhs_seed = 7;
+  indef.tolerance = 1e-4;
+  indef.want_solution = false;
+  auto f_indef = daemon.submit(std::move(indef));
+
+  const TimePoint t0 = Clock::now();
+  daemon.pump(t0);
+  daemon.pump(t0 + milliseconds(3));
+  const SolveResponse spd_response = f_spd.get();
+  const SolveResponse indef_response = f_indef.get();
+  EXPECT_EQ(spd_response.status, ResponseStatus::kOk);
+  EXPECT_STREQ(spd_response.solver, "cg");
+  EXPECT_EQ(indef_response.status, ResponseStatus::kOk);
+  EXPECT_STREQ(indef_response.solver, "bicgstab");
+}
+
+TEST(Serve, ShutdownFlushesPendingAndRejectsNew) {
+  SolverDaemon daemon(manual_config());
+  register_test_matrix(daemon);
+  const sparse::Csr a = test_csr();
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  const std::vector<double> b = solve::make_rhs_batch(a, 1);
+
+  auto pending = submit_rhs(daemon, batch_column(b, n, 0));
+  daemon.shutdown();  // flushes: the queued request still solves
+
+  ASSERT_TRUE(ready(pending));
+  EXPECT_EQ(pending.get().status, ResponseStatus::kOk);
+
+  auto rejected = submit_rhs(daemon, batch_column(b, n, 0));
+  ASSERT_TRUE(ready(rejected));
+  EXPECT_EQ(rejected.get().status, ResponseStatus::kShutdown);
+}
+
+TEST(Serve, SeededRhsIsDeterministicAndNormalized) {
+  const std::vector<double> b1 = seeded_rhs(192, 42);
+  const std::vector<double> b2 = seeded_rhs(192, 42);
+  const std::vector<double> b3 = seeded_rhs(192, 43);
+  ASSERT_EQ(b1.size(), 192u);
+  EXPECT_EQ(b1, b2);
+  EXPECT_NE(b1, b3);
+  double norm_sq = 0.0;
+  for (const double v : b1) norm_sq += v * v;
+  EXPECT_NEAR(norm_sq, 1.0, 1e-12);
+}
+
+// The TSan target: many producers against the threaded daemon, a cold
+// cache built exactly once under contention, every future fulfilled, and a
+// clean join on shutdown.
+TEST(Serve, ThreadedConcurrentSubmitters) {
+  ServeConfig config;
+  config.max_batch = 4;
+  config.batch_window_ms = 1.0;
+  SolverDaemon daemon(config);
+  register_test_matrix(daemon);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<std::future<SolveResponse>>> futures(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&daemon, &futures, t] {
+      for (int r = 0; r < kPerThread; ++r) {
+        SolveRequest request;
+        request.matrix = kName;
+        request.rhs_seed =
+            static_cast<std::uint64_t>(t) * 100u + static_cast<unsigned>(r);
+        request.tolerance = 1e-6;
+        request.want_solution = false;
+        futures[static_cast<std::size_t>(t)].push_back(
+            daemon.submit(std::move(request)));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  int completed = 0;
+  for (auto& per_thread : futures) {
+    for (auto& f : per_thread) {
+      const SolveResponse response = f.get();  // every future resolves
+      EXPECT_EQ(response.status, ResponseStatus::kOk);
+      ++completed;
+    }
+  }
+  EXPECT_EQ(completed, kThreads * kPerThread);
+
+  daemon.shutdown();
+  const ServeStats stats = daemon.stats();
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(completed));
+  // The cold matrix was built exactly once despite concurrent batches.
+  EXPECT_EQ(stats.cache.builds, 1u);
+  EXPECT_EQ(stats.cache.misses, 1u);
+}
+
+}  // namespace
+}  // namespace refloat::serve

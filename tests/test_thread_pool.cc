@@ -1,0 +1,106 @@
+// REFLOAT_THREADS / REFLOAT_AFFINITY parsing: valid values pass through,
+// garbage and out-of-range values clamp with a warning instead of silently
+// meaning something else, and unset stays the hardware default. Pinned as
+// a table because a typo'd env var steering a perf run to one thread (or
+// 100000) is exactly the failure mode nobody notices.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "src/util/thread_pool.h"
+
+namespace refloat::util {
+namespace {
+
+struct ThreadCase {
+  const char* text;     // nullptr = unset
+  int want;             // 0 = "use hardware default"
+  bool want_warning;
+};
+
+TEST(ThreadPoolEnv, ParseThreadsTable) {
+  const ThreadCase cases[] = {
+      {nullptr, 0, false},   // unset -> hardware default, silently
+      {"", 0, false},        // empty counts as unset
+      {"1", 1, false},
+      {"4", 4, false},
+      {"512", 512, false},   // exactly the ceiling: no clamp
+      {"0", 1, true},        // a set variable never means full concurrency
+      {"-3", 1, true},
+      {"abc", 1, true},      // garbage clamps to 1, loudly
+      {" ", 1, true},
+      {"8x", 8, true},       // trailing junk: value taken, but warned
+      {"100000", ThreadPool::kMaxThreads, true},  // clamps to the ceiling
+  };
+  for (const ThreadCase& c : cases) {
+    bool warned = false;
+    const int got = ThreadPool::parse_threads(c.text, &warned);
+    const std::string label = c.text == nullptr ? "<null>" : c.text;
+    EXPECT_EQ(got, c.want) << "REFLOAT_THREADS=\"" << label << "\"";
+    EXPECT_EQ(warned, c.want_warning) << "REFLOAT_THREADS=\"" << label << "\"";
+  }
+}
+
+struct AffinityCase {
+  const char* text;
+  const char* want;
+  bool want_warning;
+};
+
+TEST(ThreadPoolEnv, ParseAffinityTable) {
+  const AffinityCase cases[] = {
+      {nullptr, "off", false},
+      {"", "off", false},
+      {"off", "off", false},
+      {"compact", "compact", false},
+      {"spread", "spread", false},
+      {"banana", "off", true},   // typo'd pinning request: warn, not ignore
+      {"Compact", "off", true},  // modes are case-sensitive
+  };
+  for (const AffinityCase& c : cases) {
+    bool warned = false;
+    const char* got = ThreadPool::parse_affinity(c.text, &warned);
+    const std::string label = c.text == nullptr ? "<null>" : c.text;
+    EXPECT_STREQ(got, c.want) << "REFLOAT_AFFINITY=\"" << label << "\"";
+    EXPECT_EQ(warned, c.want_warning)
+        << "REFLOAT_AFFINITY=\"" << label << "\"";
+  }
+}
+
+TEST(ThreadPoolEnv, DefaultThreadsHonorsEnv) {
+  // default_threads() re-reads the env on every call, so the test can
+  // drive it directly (the global pool itself is not rebuilt here).
+  ::setenv("REFLOAT_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_threads(), 3);
+
+  ::setenv("REFLOAT_THREADS", "not_a_number", 1);
+  EXPECT_EQ(ThreadPool::default_threads(), 1);  // clamped, not hardware
+
+  ::unsetenv("REFLOAT_THREADS");
+  EXPECT_GE(ThreadPool::default_threads(), 1);  // hardware default
+}
+
+TEST(ThreadPoolEnv, AffinityModeNameHonorsEnv) {
+  ::setenv("REFLOAT_AFFINITY", "spread", 1);
+  EXPECT_STREQ(ThreadPool::affinity_mode_name(), "spread");
+  ::setenv("REFLOAT_AFFINITY", "nonsense", 1);
+  EXPECT_STREQ(ThreadPool::affinity_mode_name(), "off");
+  ::unsetenv("REFLOAT_AFFINITY");
+  EXPECT_STREQ(ThreadPool::affinity_mode_name(), "off");
+}
+
+TEST(ThreadPoolEnv, PoolStillRunsAtParsedSizes) {
+  // The clamp path produces a working pool: 1 thread = fully inline.
+  ThreadPool pool(ThreadPool::parse_threads("garbage"));
+  std::vector<int> hits(64, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) {
+    hits[i] = 1;
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << i;
+  }
+}
+
+}  // namespace
+}  // namespace refloat::util
