@@ -16,6 +16,10 @@
 //                         scalar number in EXPERIMENTS.md
 //   spmv_threads/T        spmv_e2e on the active ISA at T = 1/2/4/8 pool
 //                         threads
+//   backend_sweep/<kind>  the unified core::SweepBackend sweep entry
+//                         (value / noisy) at k = 1 and k = 8 — gates the
+//                         backend dispatch overhead and the batched noisy
+//                         kernel's per-RHS cost
 //   calibration           fixed serial FP dependency chain; pure host-speed
 //                         probe used by bench_compare.py --normalize to
 //                         factor machine speed out of cross-host baselines
@@ -34,6 +38,7 @@
 
 #include "src/core/refloat_matrix.h"
 #include "src/core/simd.h"
+#include "src/core/sweep_backend.h"
 #include "src/gen/grid.h"
 #include "src/util/random.h"
 #include "src/util/thread_pool.h"
@@ -200,6 +205,31 @@ void spmv_e2e(benchmark::State& state, core::SimdIsa isa, int threads) {
   util::ThreadPool::set_global_threads(1);
 }
 
+// --- backend_sweep: the unified SweepBackend entry point -------------------
+
+void backend_sweep(benchmark::State& state, core::BackendKind kind) {
+  core::simd_set_isa(core::simd_best_supported());
+  util::ThreadPool::set_global_threads(1);
+  const Workload& w = workload(state.range(0));
+  const std::size_t k = static_cast<std::size_t>(state.range(1));
+  const std::size_t n = static_cast<std::size_t>(w.a.rows());
+  std::unique_ptr<core::SweepBackend> backend =
+      kind == core::BackendKind::kNoisy
+          ? core::make_noisy_backend(w.rf, 1e-3, 42)
+          : core::make_value_backend(w.rf);
+  util::Rng rng(29);
+  std::vector<double> x(n * k);
+  for (double& v : x) v = rng.gaussian();
+  std::vector<double> y(n * k);
+  for (auto _ : state) {
+    backend->sweep(x, k, y, {});
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(w.a.nnz()) *
+                          static_cast<long>(k));
+}
+
 // --- calibration: fixed host-speed probe -----------------------------------
 
 void calibration(benchmark::State& state) {
@@ -251,6 +281,14 @@ void register_all() {
         [best, threads](benchmark::State& s) { spmv_e2e(s, best, threads); })
         ->Arg(128);
   }
+  benchmark::RegisterBenchmark(
+      "backend_sweep/value",
+      [](benchmark::State& s) { backend_sweep(s, core::BackendKind::kValue); })
+      ->Args({64, 1})->Args({64, 8});
+  benchmark::RegisterBenchmark(
+      "backend_sweep/noisy",
+      [](benchmark::State& s) { backend_sweep(s, core::BackendKind::kNoisy); })
+      ->Args({64, 1})->Args({64, 8});
   benchmark::RegisterBenchmark("calibration", calibration);
 }
 

@@ -39,6 +39,16 @@ struct AcceleratorConfig {
   // bit- and time-identical to the monolithic model.
   long long ecc_correct_cells = 0;
   double ecc_round_ns = 0.0;
+
+  // --- Bit-true programming (the hw/ datapath's write cost) -------------
+  // Write-verify programming: committing real conductances takes several
+  // program/read/verify passes per row where the idealized value path
+  // prices one. bit_true_spmm_time multiplies row_write_ns by this factor
+  // and charges it once per BATCH round — k right-hand sides stream
+  // through each verified image, which is exactly the amortization that
+  // makes batched bit-true serving worthwhile. 1.0 (the default) makes
+  // the bit-true timing identical to the value timing.
+  double write_verify_passes = 1.0;
 };
 
 // Clusters one tile can hold in this config's format (the per-tile

@@ -7,8 +7,14 @@
 
 namespace refloat::arch {
 
-SpmvTiming spmm_time(const AcceleratorConfig& config,
-                     std::size_t nonzero_blocks, long batch_k) {
+namespace {
+
+// Shared closed form behind spmm_time (write_scale = 1) and
+// bit_true_spmm_time (write_scale = write_verify_passes): one write per
+// round, scaled, then k compute sweeps against the programmed image.
+SpmvTiming spmm_time_scaled(const AcceleratorConfig& config,
+                            std::size_t nonzero_blocks, long batch_k,
+                            double write_scale) {
   SpmvTiming timing;
   timing.batch_k = std::max(batch_k, 1L);
   const DeploymentCost cost = deployment_cost(config, nonzero_blocks);
@@ -17,7 +23,7 @@ SpmvTiming spmm_time(const AcceleratorConfig& config,
       static_cast<double>(cycles_per_block_mvm(config.format)) *
       config.op_latency_ns * 1e-9;
   timing.write_seconds = static_cast<double>(1L << config.crossbar_bits) *
-                         config.row_write_ns * 1e-9;
+                         config.row_write_ns * 1e-9 * write_scale;
   // Per round, the programmed image serves the whole batch before the next
   // reprogram: k compute passes against one write.
   const double round_compute =
@@ -38,6 +44,19 @@ SpmvTiming spmm_time(const AcceleratorConfig& config,
   timing.per_rhs_seconds =
       timing.seconds / static_cast<double>(timing.batch_k);
   return timing;
+}
+
+}  // namespace
+
+SpmvTiming spmm_time(const AcceleratorConfig& config,
+                     std::size_t nonzero_blocks, long batch_k) {
+  return spmm_time_scaled(config, nonzero_blocks, batch_k, 1.0);
+}
+
+SpmvTiming bit_true_spmm_time(const AcceleratorConfig& config,
+                              std::size_t nonzero_blocks, long batch_k) {
+  return spmm_time_scaled(config, nonzero_blocks, batch_k,
+                          std::max(config.write_verify_passes, 1.0));
 }
 
 SpmvTiming spmv_time(const AcceleratorConfig& config,
@@ -176,14 +195,15 @@ SolverProfile cg_profile() { return SolverProfile{1, 5, 6}; }
 
 SolverProfile bicgstab_profile() { return SolverProfile{2, 10, 12}; }
 
-SolveTime accelerator_batched_solve_time(const AcceleratorConfig& config,
-                                         std::size_t nonzero_blocks,
-                                         long long n, long iterations,
-                                         const SolverProfile& profile,
-                                         long batch_k) {
+namespace {
+
+// Solver-loop pricing around one SpMM closed form (value or bit-true):
+// SpMVs merge into SpMM passes, digital vector ops stay per column.
+SolveTime solve_time_around(const AcceleratorConfig& config,
+                            const SpmvTiming& spmm, long long n,
+                            long iterations, const SolverProfile& profile) {
   SolveTime time;
-  time.batch_k = std::max(batch_k, 1L);
-  const SpmvTiming spmm = spmm_time(config, nonzero_blocks, time.batch_k);
+  time.batch_k = spmm.batch_k;
   const double lanes = static_cast<double>(std::max(config.vector_lanes, 1L));
   const double vector_op_seconds =
       static_cast<double>(n) / lanes * config.vector_ns_per_element * 1e-9;
@@ -202,6 +222,29 @@ SolveTime accelerator_batched_solve_time(const AcceleratorConfig& config,
   time.per_rhs_seconds =
       time.total_seconds / static_cast<double>(time.batch_k);
   return time;
+}
+
+}  // namespace
+
+SolveTime accelerator_batched_solve_time(const AcceleratorConfig& config,
+                                         std::size_t nonzero_blocks,
+                                         long long n, long iterations,
+                                         const SolverProfile& profile,
+                                         long batch_k) {
+  return solve_time_around(
+      config, spmm_time(config, nonzero_blocks, std::max(batch_k, 1L)), n,
+      iterations, profile);
+}
+
+SolveTime bit_true_batched_solve_time(const AcceleratorConfig& config,
+                                      std::size_t nonzero_blocks, long long n,
+                                      long iterations,
+                                      const SolverProfile& profile,
+                                      long batch_k) {
+  return solve_time_around(
+      config,
+      bit_true_spmm_time(config, nonzero_blocks, std::max(batch_k, 1L)), n,
+      iterations, profile);
 }
 
 SolveTime accelerator_solve_time(const AcceleratorConfig& config,

@@ -38,6 +38,16 @@ SpmvTiming spmv_time(const AcceleratorConfig& config,
 SpmvTiming spmm_time(const AcceleratorConfig& config,
                      std::size_t nonzero_blocks, long batch_k);
 
+// The bit-true pass: the same streaming schedule as spmm_time, but every
+// reprogram round pays write-verify programming — row_write_ns scaled by
+// config.write_verify_passes — before its k compute sweeps. With
+// write_verify_passes == 1 this IS spmm_time; with realistic multi-pass
+// programming the rounds turn write-bound and the per-RHS amortization of
+// batching grows accordingly (the k-RHS bit-true rows in bench_batch /
+// EXPERIMENTS.md).
+SpmvTiming bit_true_spmm_time(const AcceleratorConfig& config,
+                              std::size_t nonzero_blocks, long batch_k);
+
 // --- Tiled pass timing ----------------------------------------------------
 // One SpMV/SpMM pass over blocks_per_tile.size() tiles, each holding its
 // shard of the plan and owning `clusters(config)` of capacity. The single
@@ -116,5 +126,14 @@ SolveTime accelerator_batched_solve_time(const AcceleratorConfig& config,
                                          long long n, long iterations,
                                          const SolverProfile& profile,
                                          long batch_k);
+
+// The bit-true analog: SpMM passes priced by bit_true_spmm_time (write-
+// verify programming once per batch round), vector ops still per column.
+// This is the write-bound regime where batched serving earns its keep.
+SolveTime bit_true_batched_solve_time(const AcceleratorConfig& config,
+                                      std::size_t nonzero_blocks, long long n,
+                                      long iterations,
+                                      const SolverProfile& profile,
+                                      long batch_k);
 
 }  // namespace refloat::arch

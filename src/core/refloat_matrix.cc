@@ -5,10 +5,8 @@
 #include <map>
 #include <utility>
 
-#include "src/core/simd.h"
+#include "src/core/sweep_backend.h"
 #include "src/sparse/lanczos.h"
-#include "src/sparse/vector_ops.h"
-#include "src/util/thread_pool.h"
 
 namespace refloat::core {
 
@@ -18,32 +16,6 @@ int bits_for_spread(int spread) {
   int bits = 0;
   while ((1 << bits) < spread) ++bits;
   return bits;
-}
-
-// One block-row of the noisy sweep: serial (brow, bcol) block order, one
-// Gaussian draw per nonzero per-block row partial, in row order. Shared by
-// the untiled and tiled noisy paths so they are the same instruction
-// sequence per block-row (bit-identity across partitions).
-void noisy_block_row(const SpmvPlan& plan, std::size_t br,
-                     const std::vector<double>& xq, std::span<double> y,
-                     double sigma, util::Rng& rng,
-                     std::vector<double>& partial) {
-  const std::size_t side = plan.side();
-  partial.resize(side);
-  for (std::size_t j = plan.block_ptr[br]; j < plan.block_ptr[br + 1]; ++j) {
-    const std::size_t r0 = static_cast<std::size_t>(plan.row0[j]);
-    const std::size_t c0 = static_cast<std::size_t>(plan.col0[j]);
-    std::fill(partial.begin(), partial.end(), 0.0);
-    for (std::size_t e = plan.entry_ptr[j]; e < plan.entry_ptr[j + 1]; ++e) {
-      partial[static_cast<std::size_t>(plan.entry_row[e])] +=
-          plan.entry_value[e] *
-          xq[c0 + static_cast<std::size_t>(plan.entry_col[e])];
-    }
-    for (std::size_t r = 0; r < side; ++r) {
-      if (partial[r] == 0.0) continue;
-      y[r0 + r] += partial[r] * (1.0 + sigma * rng.gaussian());
-    }
-  }
 }
 
 }  // namespace
@@ -204,62 +176,13 @@ void RefloatMatrix::quantize_vector(std::span<const double> x,
 void RefloatMatrix::spmv_refloat(std::span<const double> x,
                                  std::span<double> y,
                                  std::vector<double>& scratch) const {
-  scratch.resize(x.size());
-  quantize_vector(x, scratch);
-  sparse::fill(y, 0.0);
-  if (format_.b == 0) {
-    quantized_.spmv(scratch, y);
-    return;
-  }
-  // Block-rows write disjoint y ranges and keep the serial (brow, bcol)
-  // accumulation order within each range — bit-identical at any thread
-  // count and on every SIMD path (the kernels never reorder or fuse the
-  // per-entry multiply-adds). The walk is one linear sweep of the plan
-  // arena per shard.
-  const SweepKernels& kernels = sweep_kernels();
-  util::ThreadPool::global().parallel_for(
-      plan_.block_rows(), [&](std::size_t br) {
-        kernels.spmv_block_row(plan_, br, scratch.data(), y.data());
-      });
+  detail::sweep_value_single(*this, nullptr, x, y, scratch);
 }
 
 void RefloatMatrix::spmv_refloat_multi(std::span<const double> x,
                                        std::size_t k, std::span<double> y,
                                        MultiSpmvScratch& scratch) const {
-  if (k == 0) return;
-  const std::size_t n_cols = static_cast<std::size_t>(cols_);
-  const std::size_t n_rows = static_cast<std::size_t>(rows_);
-  if (format_.b == 0) {
-    // Scalar formats have no block image to amortize: apply per column.
-    scratch.columns.resize(n_cols);
-    for (std::size_t j = 0; j < k; ++j) {
-      quantize_vector(x.subspan(j * n_cols, n_cols), scratch.columns);
-      quantized_.spmv(scratch.columns, y.subspan(j * n_rows, n_rows));
-    }
-    return;
-  }
-  // Quantize per column (identical to the single-RHS path), then transpose
-  // the batch to a row-major n x k image so one block entry touches k
-  // adjacent operand/result slots.
-  scratch.columns.resize(n_cols * k);
-  scratch.x_interleaved.resize(n_cols * k);
-  for (std::size_t j = 0; j < k; ++j) {
-    quantize_vector(x.subspan(j * n_cols, n_cols),
-                    std::span<double>(scratch.columns)
-                        .subspan(j * n_cols, n_cols));
-  }
-  sparse::interleave(scratch.columns, n_cols, k, scratch.x_interleaved);
-  scratch.y_interleaved.assign(n_rows * k, 0.0);
-  // Each block is visited once and applied to all k columns; per column the
-  // accumulation order is exactly the single-RHS serial order, so every
-  // column is bit-identical to spmv_refloat on that column alone.
-  const SweepKernels& kernels = sweep_kernels();
-  util::ThreadPool::global().parallel_for(
-      plan_.block_rows(), [&](std::size_t br) {
-        kernels.spmm_block_row(plan_, br, k, scratch.x_interleaved.data(),
-                               scratch.y_interleaved.data());
-      });
-  sparse::deinterleave(scratch.y_interleaved, n_rows, k, y);
+  detail::sweep_value_multi(*this, nullptr, x, k, y, scratch);
 }
 
 void RefloatMatrix::spmv_refloat_noisy(std::span<const double> x,
@@ -267,76 +190,32 @@ void RefloatMatrix::spmv_refloat_noisy(std::span<const double> x,
                                        std::vector<double>& scratch,
                                        double sigma, std::uint64_t seed,
                                        std::uint64_t sequence) const {
-  scratch.resize(x.size());
-  quantize_vector(x, scratch);
-  sparse::fill(y, 0.0);
-  if (format_.b == 0) {
-    quantized_.spmv(scratch, y);
-    util::Rng rng(util::stream_seed(seed, sequence, 0));
-    for (auto& v : y) v *= 1.0 + sigma * rng.gaussian();
-    return;
-  }
-  util::ThreadPool::global().parallel_for(
-      plan_.block_rows(), [&](std::size_t br) {
-        // One counter-based noise stream per (sequence, block-row): the draw
-        // order within a block-row is the serial block order, so the result
-        // does not depend on which thread runs the shard. The partial buffer
-        // is per worker thread (zeroed before each block), not per shard.
-        util::Rng rng(util::stream_seed(seed, sequence, br));
-        thread_local std::vector<double> partial;
-        noisy_block_row(plan_, br, scratch, y, sigma, rng, partial);
-      });
+  detail::sweep_noisy_single(*this, nullptr, x, y, scratch, sigma, seed,
+                             sequence);
+}
+
+void RefloatMatrix::spmv_refloat_noisy_multi(
+    std::span<const double> x, std::size_t k, std::span<double> y,
+    MultiSpmvScratch& scratch, double sigma,
+    std::span<const std::uint64_t> seeds,
+    std::span<const std::uint64_t> sequences) const {
+  detail::sweep_noisy_multi(*this, nullptr, x, k, y, scratch, sigma, seeds,
+                            sequences);
 }
 
 void RefloatMatrix::spmv_refloat_tiled(const TiledPlan& tiled,
                                        std::span<const double> x,
                                        std::span<double> y,
                                        std::vector<double>& scratch) const {
-  scratch.resize(x.size());
-  quantize_vector(x, scratch);
-  sparse::fill(y, 0.0);
-  if (format_.b == 0) {
-    quantized_.spmv(scratch, y);
-    return;
-  }
-  // One pool shard per tile; within a tile the block-rows run in their
-  // serial order through the same sweep kernel as the untiled path, so the
-  // output is bit-identical to spmv_refloat for any partition.
-  const SweepKernels& kernels = sweep_kernels();
-  const std::span<const TileShard> shards = tiled.shards();
-  util::ThreadPool::global().parallel_for(
-      shards.size(), [&](std::size_t t) {
-        const TileShard& s = shards[t];
-        for (std::size_t br = s.brow_begin; br < s.brow_end; ++br) {
-          kernels.spmv_block_row(plan_, br, scratch.data(), y.data());
-        }
-      });
+  detail::sweep_value_single(*this, &tiled, x, y, scratch);
 }
 
 void RefloatMatrix::spmv_refloat_noisy_tiled(
     const TiledPlan& tiled, std::span<const double> x, std::span<double> y,
     std::vector<double>& scratch, double sigma, std::uint64_t seed,
     std::uint64_t sequence) const {
-  scratch.resize(x.size());
-  quantize_vector(x, scratch);
-  sparse::fill(y, 0.0);
-  if (format_.b == 0) {
-    quantized_.spmv(scratch, y);
-    util::Rng rng(util::stream_seed(seed, sequence, 0));
-    for (auto& v : y) v *= 1.0 + sigma * rng.gaussian();
-    return;
-  }
-  const std::span<const TileShard> shards = tiled.shards();
-  util::ThreadPool::global().parallel_for(
-      shards.size(), [&](std::size_t t) {
-        const TileShard& s = shards[t];
-        thread_local std::vector<double> partial;
-        for (std::size_t br = s.brow_begin; br < s.brow_end; ++br) {
-          // Streams stay keyed per grid block-row, exactly as untiled.
-          util::Rng rng(util::stream_seed(seed, sequence, br));
-          noisy_block_row(plan_, br, scratch, y, sigma, rng, partial);
-        }
-      });
+  detail::sweep_noisy_single(*this, &tiled, x, y, scratch, sigma, seed,
+                             sequence);
 }
 
 const ConversionStats& RefloatMatrix::probe_definiteness(int steps) const {

@@ -9,6 +9,11 @@
 // ($REFLOAT_THREADS). Block-rows own disjoint output rows and each
 // block-row's blocks accumulate in the serial (brow, bcol) order, so the
 // result is bit-identical at any thread count.
+//
+// Every spmv_* method below is a thin wrapper over the shared sweep layer
+// in src/core/sweep_backend.{h,cc} (core::detail::sweep_*), which owns the
+// quantize -> interleave -> sharded block-row sweep scaffolding once for
+// the value-faithful and noisy paths, tiled and untiled, k=1 and k-RHS.
 #pragma once
 
 #include <cstdint>
@@ -156,6 +161,19 @@ class RefloatMatrix {
   void spmv_refloat_noisy(std::span<const double> x, std::span<double> y,
                           std::vector<double>& scratch, double sigma,
                           std::uint64_t seed, std::uint64_t sequence) const;
+
+  // Batched noisy SpMM: the k-RHS counterpart of spmv_refloat_noisy.
+  // Column j draws from streams keyed per (seeds[j], sequences[j], grid
+  // block-row), so it is bit-identical to spmv_refloat_noisy on that column
+  // alone with (seeds[j], sequences[j]) — at any thread count. Both spans
+  // need >= k entries. (Tiled variants of the batched sweeps live behind
+  // core::SweepBackend; this is the untiled entry point.)
+  void spmv_refloat_noisy_multi(std::span<const double> x, std::size_t k,
+                                std::span<double> y,
+                                MultiSpmvScratch& scratch, double sigma,
+                                std::span<const std::uint64_t> seeds,
+                                std::span<const std::uint64_t> sequences)
+      const;
 
  private:
   Format format_;

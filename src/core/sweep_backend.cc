@@ -1,0 +1,392 @@
+#include "src/core/sweep_backend.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/core/simd.h"
+#include "src/sparse/vector_ops.h"
+#include "src/util/random.h"
+#include "src/util/thread_pool.h"
+
+namespace refloat::core {
+
+const char* backend_kind_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kValue:
+      return "value";
+    case BackendKind::kNoisy:
+      return "noisy";
+    case BackendKind::kBitTrue:
+      return "bittrue";
+  }
+  return "value";
+}
+
+bool parse_backend_kind(std::string_view name, BackendKind* out) {
+  if (name == "value") {
+    *out = BackendKind::kValue;
+  } else if (name == "noisy") {
+    *out = BackendKind::kNoisy;
+  } else if (name == "bittrue") {
+    *out = BackendKind::kBitTrue;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Runs fn(br) for every block-row, one pool shard per block-row (untiled)
+// or per tile shard (block-rows serial within a shard). Both schedules
+// visit each block-row exactly once, so any fn whose cross-block-row writes
+// are disjoint produces bit-identical results under either.
+template <typename Fn>
+void parallel_block_rows(const SpmvPlan& plan, const TiledPlan* tiled,
+                         Fn&& fn) {
+  if (tiled == nullptr || tiled->empty()) {
+    util::ThreadPool::global().parallel_for(plan.block_rows(), fn);
+    return;
+  }
+  const std::span<const TileShard> shards = tiled->shards();
+  util::ThreadPool::global().parallel_for(shards.size(), [&](std::size_t t) {
+    const TileShard& s = shards[t];
+    for (std::size_t br = s.brow_begin; br < s.brow_end; ++br) fn(br);
+  });
+}
+
+// One block-row of the noisy sweep: serial (brow, bcol) block order, one
+// Gaussian draw per nonzero per-block row partial, in row order. Shared by
+// the untiled and tiled noisy paths so they are the same instruction
+// sequence per block-row (bit-identity across partitions).
+void noisy_block_row(const SpmvPlan& plan, std::size_t br,
+                     std::span<const double> xq, std::span<double> y,
+                     double sigma, util::Rng& rng,
+                     std::vector<double>& partial) {
+  const std::size_t side = plan.side();
+  partial.resize(side);
+  for (std::size_t j = plan.block_ptr[br]; j < plan.block_ptr[br + 1]; ++j) {
+    const std::size_t r0 = static_cast<std::size_t>(plan.row0[j]);
+    const std::size_t c0 = static_cast<std::size_t>(plan.col0[j]);
+    std::fill(partial.begin(), partial.end(), 0.0);
+    for (std::size_t e = plan.entry_ptr[j]; e < plan.entry_ptr[j + 1]; ++e) {
+      partial[static_cast<std::size_t>(plan.entry_row[e])] +=
+          plan.entry_value[e] *
+          xq[c0 + static_cast<std::size_t>(plan.entry_col[e])];
+    }
+    for (std::size_t r = 0; r < side; ++r) {
+      if (partial[r] == 0.0) continue;
+      y[r0 + r] += partial[r] * (1.0 + sigma * rng.gaussian());
+    }
+  }
+}
+
+// The k-RHS counterpart over the interleaved images (slot i*k + column).
+// Per column the partial accumulates in the same entry order and the noise
+// draws happen at the same (block, row) points with the same zero skip as
+// noisy_block_row — column j is bit-identical to a solo sweep with stream
+// rngs[j]. This TU is -ffp-contract=off, so both loops round mul-then-add.
+void noisy_block_row_multi(const SpmvPlan& plan, std::size_t br,
+                           std::size_t k, const double* xq, double* y,
+                           double sigma, util::Rng* rngs,
+                           std::vector<double>& partial) {
+  const std::size_t side = plan.side();
+  partial.resize(side * k);
+  for (std::size_t j = plan.block_ptr[br]; j < plan.block_ptr[br + 1]; ++j) {
+    const std::size_t r0 = static_cast<std::size_t>(plan.row0[j]);
+    const std::size_t c0 = static_cast<std::size_t>(plan.col0[j]);
+    std::fill(partial.begin(), partial.end(), 0.0);
+    for (std::size_t e = plan.entry_ptr[j]; e < plan.entry_ptr[j + 1]; ++e) {
+      const double v = plan.entry_value[e];
+      const double* xs =
+          xq + (c0 + static_cast<std::size_t>(plan.entry_col[e])) * k;
+      double* ps =
+          partial.data() + static_cast<std::size_t>(plan.entry_row[e]) * k;
+      for (std::size_t c = 0; c < k; ++c) ps[c] += v * xs[c];
+    }
+    for (std::size_t r = 0; r < side; ++r) {
+      const double* ps = partial.data() + r * k;
+      double* ys = y + (r0 + r) * k;
+      for (std::size_t c = 0; c < k; ++c) {
+        if (ps[c] == 0.0) continue;
+        ys[c] += ps[c] * (1.0 + sigma * rngs[c].gaussian());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+void sweep_value_single(const RefloatMatrix& rf, const TiledPlan* tiled,
+                        std::span<const double> x, std::span<double> y,
+                        std::vector<double>& xq) {
+  xq.resize(x.size());
+  rf.quantize_vector(x, xq);
+  sparse::fill(y, 0.0);
+  if (rf.format().b == 0) {
+    rf.quantized().spmv(xq, y);
+    return;
+  }
+  // Block-rows write disjoint y ranges and keep the serial (brow, bcol)
+  // accumulation order within each range — bit-identical at any thread
+  // count, on every SIMD path, and for every tile partition.
+  const SweepKernels& kernels = sweep_kernels();
+  parallel_block_rows(rf.plan(), tiled, [&](std::size_t br) {
+    kernels.spmv_block_row(rf.plan(), br, xq.data(), y.data());
+  });
+}
+
+void sweep_value_multi(const RefloatMatrix& rf, const TiledPlan* tiled,
+                       std::span<const double> x, std::size_t k,
+                       std::span<double> y, MultiSpmvScratch& scratch) {
+  if (k == 0) return;
+  const std::size_t n_cols = static_cast<std::size_t>(rf.quantized().cols());
+  const std::size_t n_rows = static_cast<std::size_t>(rf.quantized().rows());
+  if (rf.format().b == 0) {
+    // Scalar formats have no block image to amortize: apply per column.
+    scratch.columns.resize(n_cols);
+    for (std::size_t j = 0; j < k; ++j) {
+      rf.quantize_vector(x.subspan(j * n_cols, n_cols), scratch.columns);
+      rf.quantized().spmv(scratch.columns, y.subspan(j * n_rows, n_rows));
+    }
+    return;
+  }
+  // Quantize per column (identical to the single-RHS path), then transpose
+  // the batch to a row-major n x k image so one block entry touches k
+  // adjacent operand/result slots.
+  scratch.columns.resize(n_cols * k);
+  scratch.x_interleaved.resize(n_cols * k);
+  for (std::size_t j = 0; j < k; ++j) {
+    rf.quantize_vector(
+        x.subspan(j * n_cols, n_cols),
+        std::span<double>(scratch.columns).subspan(j * n_cols, n_cols));
+  }
+  sparse::interleave(scratch.columns, n_cols, k, scratch.x_interleaved);
+  scratch.y_interleaved.assign(n_rows * k, 0.0);
+  // Each block is visited once and applied to all k columns; per column the
+  // accumulation order is exactly the single-RHS serial order, so every
+  // column is bit-identical to a solo sweep of that column alone.
+  const SweepKernels& kernels = sweep_kernels();
+  parallel_block_rows(rf.plan(), tiled, [&](std::size_t br) {
+    kernels.spmm_block_row(rf.plan(), br, k, scratch.x_interleaved.data(),
+                           scratch.y_interleaved.data());
+  });
+  sparse::deinterleave(scratch.y_interleaved, n_rows, k, y);
+}
+
+void sweep_noisy_single(const RefloatMatrix& rf, const TiledPlan* tiled,
+                        std::span<const double> x, std::span<double> y,
+                        std::vector<double>& xq, double sigma,
+                        std::uint64_t seed, std::uint64_t sequence) {
+  xq.resize(x.size());
+  rf.quantize_vector(x, xq);
+  sparse::fill(y, 0.0);
+  if (rf.format().b == 0) {
+    rf.quantized().spmv(xq, y);
+    util::Rng rng(util::stream_seed(seed, sequence, 0));
+    for (auto& v : y) v *= 1.0 + sigma * rng.gaussian();
+    return;
+  }
+  parallel_block_rows(rf.plan(), tiled, [&](std::size_t br) {
+    // One counter-based noise stream per (sequence, grid block-row): the
+    // draw order within a block-row is the serial block order, so the
+    // result does not depend on which thread runs the shard or which tile
+    // owns the block-row. The partial buffer is per worker thread (zeroed
+    // before each block), not per shard.
+    util::Rng rng(util::stream_seed(seed, sequence, br));
+    thread_local std::vector<double> partial;
+    noisy_block_row(rf.plan(), br, xq, y, sigma, rng, partial);
+  });
+}
+
+void sweep_noisy_multi(const RefloatMatrix& rf, const TiledPlan* tiled,
+                       std::span<const double> x, std::size_t k,
+                       std::span<double> y, MultiSpmvScratch& scratch,
+                       double sigma, std::span<const std::uint64_t> seeds,
+                       std::span<const std::uint64_t> sequences) {
+  if (k == 0) return;
+  assert(seeds.size() >= k && sequences.size() >= k);
+  const std::size_t n_cols = static_cast<std::size_t>(rf.quantized().cols());
+  const std::size_t n_rows = static_cast<std::size_t>(rf.quantized().rows());
+  if (rf.format().b == 0) {
+    scratch.columns.resize(n_cols);
+    for (std::size_t j = 0; j < k; ++j) {
+      rf.quantize_vector(x.subspan(j * n_cols, n_cols), scratch.columns);
+      const std::span<double> yj = y.subspan(j * n_rows, n_rows);
+      rf.quantized().spmv(scratch.columns, yj);
+      util::Rng rng(util::stream_seed(seeds[j], sequences[j], 0));
+      for (auto& v : yj) v *= 1.0 + sigma * rng.gaussian();
+    }
+    return;
+  }
+  scratch.columns.resize(n_cols * k);
+  scratch.x_interleaved.resize(n_cols * k);
+  for (std::size_t j = 0; j < k; ++j) {
+    rf.quantize_vector(
+        x.subspan(j * n_cols, n_cols),
+        std::span<double>(scratch.columns).subspan(j * n_cols, n_cols));
+  }
+  sparse::interleave(scratch.columns, n_cols, k, scratch.x_interleaved);
+  scratch.y_interleaved.assign(n_rows * k, 0.0);
+  parallel_block_rows(rf.plan(), tiled, [&](std::size_t br) {
+    // k per-column streams per block-row, each keyed exactly as the solo
+    // sweep of that column would key it.
+    thread_local std::vector<util::Rng> rngs;
+    rngs.clear();
+    rngs.reserve(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      rngs.emplace_back(util::stream_seed(seeds[j], sequences[j], br));
+    }
+    thread_local std::vector<double> partial;
+    noisy_block_row_multi(rf.plan(), br, k, scratch.x_interleaved.data(),
+                          scratch.y_interleaved.data(), sigma, rngs.data(),
+                          partial);
+  });
+  sparse::deinterleave(scratch.y_interleaved, n_rows, k, y);
+}
+
+}  // namespace detail
+
+namespace {
+
+// Owns-or-borrows the tile partition: every backend supports both the
+// "partition for me" (tiles count) and "share the resident partition"
+// (borrowed pointer, e.g. the serving layer's cache entry) constructions.
+struct TileRouting {
+  TiledPlan owned;
+  const TiledPlan* borrowed = nullptr;
+
+  TileRouting(const RefloatMatrix& rf, int tiles) {
+    if (tiles > 1 && rf.plan().num_blocks() > 0) {
+      owned = TiledPlan::partition(rf.plan(), {.tiles = tiles});
+    }
+  }
+  TileRouting(const RefloatMatrix& rf, const TiledPlan* tiled)
+      : borrowed(tiled) {
+    (void)rf;
+  }
+  [[nodiscard]] const TiledPlan* get() const {
+    if (borrowed != nullptr) return borrowed->empty() ? nullptr : borrowed;
+    return owned.empty() ? nullptr : &owned;
+  }
+};
+
+class ValueBackend final : public SweepBackend {
+ public:
+  template <typename Tiling>
+  ValueBackend(const RefloatMatrix& rf, Tiling tiling)
+      : rf_(rf), tiles_(rf, tiling) {}
+
+  [[nodiscard]] std::size_t rows() const override {
+    return static_cast<std::size_t>(rf_.quantized().rows());
+  }
+  [[nodiscard]] std::size_t cols() const override {
+    return static_cast<std::size_t>(rf_.quantized().cols());
+  }
+  [[nodiscard]] BackendKind kind() const override {
+    return BackendKind::kValue;
+  }
+  [[nodiscard]] const char* label() const override { return "refloat"; }
+
+  void sweep(std::span<const double> x, std::size_t k, std::span<double> y,
+             const SweepContext& /*ctx*/) override {
+    if (k == 1) {
+      detail::sweep_value_single(rf_, tiles_.get(), x, y, xq_);
+    } else {
+      detail::sweep_value_multi(rf_, tiles_.get(), x, k, y, scratch_);
+    }
+  }
+
+ private:
+  const RefloatMatrix& rf_;
+  TileRouting tiles_;
+  std::vector<double> xq_;
+  MultiSpmvScratch scratch_;
+};
+
+class NoisyBackend final : public SweepBackend {
+ public:
+  template <typename Tiling>
+  NoisyBackend(const RefloatMatrix& rf, double sigma, std::uint64_t seed,
+               Tiling tiling)
+      : rf_(rf), tiles_(rf, tiling), sigma_(sigma), seed_(seed) {}
+
+  [[nodiscard]] std::size_t rows() const override {
+    return static_cast<std::size_t>(rf_.quantized().rows());
+  }
+  [[nodiscard]] std::size_t cols() const override {
+    return static_cast<std::size_t>(rf_.quantized().cols());
+  }
+  [[nodiscard]] BackendKind kind() const override {
+    return BackendKind::kNoisy;
+  }
+  [[nodiscard]] const char* label() const override { return "refloat+rtn"; }
+
+  void sweep(std::span<const double> x, std::size_t k, std::span<double> y,
+             const SweepContext& ctx) override {
+    std::span<const std::uint64_t> seeds = ctx.seeds;
+    std::span<const std::uint64_t> sequences = ctx.sequences;
+    if (seeds.empty()) {
+      // Default identity: the backend's seed (forked per column past 0) and
+      // one shared application counter per sweep call — k=1 is exactly the
+      // pre-backend NoisyRefloatOperator stream (seed, sequence++).
+      default_seeds_.resize(k);
+      default_sequences_.assign(k, sequence_);
+      for (std::size_t j = 0; j < k; ++j) {
+        default_seeds_[j] =
+            j == 0 ? seed_ : util::stream_seed(seed_, j, kColumnForkSalt);
+      }
+      ++sequence_;
+      seeds = default_seeds_;
+      sequences = default_sequences_;
+    }
+    if (k == 1) {
+      detail::sweep_noisy_single(rf_, tiles_.get(), x, y, xq_, sigma_,
+                                 seeds[0], sequences[0]);
+    } else {
+      detail::sweep_noisy_multi(rf_, tiles_.get(), x, k, y, scratch_, sigma_,
+                                seeds, sequences);
+    }
+  }
+
+ private:
+  const RefloatMatrix& rf_;
+  TileRouting tiles_;
+  double sigma_;
+  std::uint64_t seed_;
+  std::uint64_t sequence_ = 0;  // distinct noise per default-context sweep
+  std::vector<std::uint64_t> default_seeds_;
+  std::vector<std::uint64_t> default_sequences_;
+  std::vector<double> xq_;
+  MultiSpmvScratch scratch_;
+};
+
+}  // namespace
+
+std::unique_ptr<SweepBackend> make_value_backend(const RefloatMatrix& rf,
+                                                 int tiles) {
+  return std::make_unique<ValueBackend>(rf, tiles);
+}
+
+std::unique_ptr<SweepBackend> make_value_backend(const RefloatMatrix& rf,
+                                                 const TiledPlan* tiled) {
+  return std::make_unique<ValueBackend>(rf, tiled);
+}
+
+std::unique_ptr<SweepBackend> make_noisy_backend(const RefloatMatrix& rf,
+                                                 double sigma,
+                                                 std::uint64_t seed,
+                                                 int tiles) {
+  return std::make_unique<NoisyBackend>(rf, sigma, seed, tiles);
+}
+
+std::unique_ptr<SweepBackend> make_noisy_backend(const RefloatMatrix& rf,
+                                                 double sigma,
+                                                 std::uint64_t seed,
+                                                 const TiledPlan* tiled) {
+  return std::make_unique<NoisyBackend>(rf, sigma, seed, tiled);
+}
+
+}  // namespace refloat::core

@@ -1,0 +1,151 @@
+// SweepBackend: the one execution interface behind the paper's three views
+// of the same crossbar sweep — value-faithful (exact quantized values),
+// noisy (Fig. 10 multiplicative RTN on every per-block row partial), and
+// bit-true (the hw/ crossbar datapath with faults + ECC). Every view
+// exposes the same k-RHS entry point
+//
+//     sweep(X, k, Y, ctx)   // X: k column-major vectors, Y likewise
+//
+// with the shared guarantees the solvers and the serving layer build on:
+//
+//   * k = 1 is bit-identical to the pre-backend single-RHS kernels
+//     (spmv_refloat / spmv_refloat_noisy / HwSpmv::apply) — the batched
+//     scaffolding is skipped entirely, not merely equivalent.
+//   * Column j of a k-RHS sweep is bit-identical to a solo sweep of that
+//     column: blocks are visited once per batch and applied to all k
+//     columns, but per column the accumulation order is exactly the serial
+//     single-RHS order.
+//   * Stochastic backends key their counter-based streams per
+//     (seed, sequence, grid block-row, column) through SweepContext, so
+//     every column reproduces its solo-solve trajectory at any thread
+//     count and any tile split.
+//
+// Tiling is a constructor-time choice (a pure scheduling change), threading
+// lives inside the sweep on util::ThreadPool::global(), and the
+// quantize -> interleave -> sharded block-row sweep -> deinterleave
+// scaffolding that used to be triplicated across the RefloatMatrix methods
+// lives once in sweep_backend.cc (detail::*), with sparse::interleave /
+// sparse::deinterleave as the single layout-transpose definition.
+//
+// This TU is compiled with -ffp-contract=off like the kernel TUs: the noisy
+// partial accumulation is scalar code, and pinning its rounding makes the
+// solo and batched noisy loops bit-comparable on every build flag set.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/core/refloat_matrix.h"
+#include "src/core/tiled_plan.h"
+
+namespace refloat::core {
+
+enum class BackendKind {
+  kValue = 0,    // exact quantized-value sweep
+  kNoisy = 1,    // + multiplicative Gaussian RTN per block-row partial
+  kBitTrue = 2,  // hw/ bit-serial crossbar datapath (faults, ADC, ECC)
+};
+
+// Short lowercase name ("value", "noisy", "bittrue") — the serve protocol's
+// backend= token and the residency-cache key component.
+const char* backend_kind_name(BackendKind kind);
+// Parses a backend_kind_name token; false (out unchanged) on anything else.
+bool parse_backend_kind(std::string_view name, BackendKind* out);
+
+// Salt used to fork one base seed into per-column stream seeds (column 0
+// keeps the base verbatim, so k=1 reproduces the single-RHS streams).
+// Shared by the noisy backend's default context and
+// solve::BackendMultiOperator so both derive the same column identities.
+inline constexpr std::uint64_t kColumnForkSalt = 0xb5a7c01ULL;
+
+// Per-column stream identity for stochastic backends. Either both spans are
+// empty (the backend falls back to its constructor seed and an internal
+// per-sweep application counter) or both have >= k entries: column j draws
+// from counter-based streams keyed by (seeds[j], sequences[j], block-row).
+// Callers that batch independent solves (the lockstep drivers, the serving
+// layer) pass each column's solo identity here so the batch reproduces the
+// solo trajectories bit-for-bit. Value backends ignore the context.
+struct SweepContext {
+  std::span<const std::uint64_t> seeds;
+  std::span<const std::uint64_t> sequences;
+};
+
+class SweepBackend {
+ public:
+  virtual ~SweepBackend() = default;
+
+  [[nodiscard]] virtual std::size_t rows() const = 0;
+  [[nodiscard]] virtual std::size_t cols() const = 0;
+  [[nodiscard]] virtual BackendKind kind() const = 0;
+  // Stable short label for logs/benches (e.g. "refloat", "refloat+rtn",
+  // "hw+bittrue").
+  [[nodiscard]] virtual const char* label() const = 0;
+
+  // Y = op(X) for k column-major vectors: x.size() == k * cols(),
+  // y.size() == k * rows(). One instance must not sweep concurrently from
+  // two threads (scratch is per-instance); parallelism lives inside.
+  virtual void sweep(std::span<const double> x, std::size_t k,
+                     std::span<double> y, const SweepContext& ctx) = 0;
+};
+
+// Value-faithful backend over rf's SpmvPlan. `tiles` > 1 partitions the
+// plan and runs the tile-sharded sweep (bit-identical to untiled). The
+// overloads taking a TiledPlan* borrow an existing partition (nullptr =
+// untiled); the caller keeps it alive.
+std::unique_ptr<SweepBackend> make_value_backend(const RefloatMatrix& rf,
+                                                 int tiles = 1);
+std::unique_ptr<SweepBackend> make_value_backend(const RefloatMatrix& rf,
+                                                 const TiledPlan* tiled);
+
+// Noisy backend (Fig. 10 RTN model): multiplicative Gaussian noise of
+// deviation `sigma` on every nonzero per-block row partial. With an empty
+// SweepContext, column 0 of sweep number s draws the streams of
+// spmv_refloat_noisy(seed, sequence = s) — the pre-backend
+// NoisyRefloatOperator semantics — and later columns fork the seed per
+// column.
+std::unique_ptr<SweepBackend> make_noisy_backend(const RefloatMatrix& rf,
+                                                 double sigma,
+                                                 std::uint64_t seed,
+                                                 int tiles = 1);
+std::unique_ptr<SweepBackend> make_noisy_backend(const RefloatMatrix& rf,
+                                                 double sigma,
+                                                 std::uint64_t seed,
+                                                 const TiledPlan* tiled);
+// (The bit-true factory lives in src/hw/bit_true_backend.h — core/ stays
+// below hw/ in the layer diagram.)
+
+namespace detail {
+
+// The shared sweep scaffolding (quantize -> zero -> sharded block-row sweep,
+// plus interleave/deinterleave for k > 1), parameterized by an optional
+// borrowed TiledPlan (nullptr or empty = untiled). These are what both the
+// backends above and the legacy RefloatMatrix::spmv_* entry points call —
+// one definition per path, so "k=1 through the backend" and "the legacy
+// method" are the same instructions by construction.
+void sweep_value_single(const RefloatMatrix& rf, const TiledPlan* tiled,
+                        std::span<const double> x, std::span<double> y,
+                        std::vector<double>& xq);
+void sweep_value_multi(const RefloatMatrix& rf, const TiledPlan* tiled,
+                       std::span<const double> x, std::size_t k,
+                       std::span<double> y, MultiSpmvScratch& scratch);
+void sweep_noisy_single(const RefloatMatrix& rf, const TiledPlan* tiled,
+                        std::span<const double> x, std::span<double> y,
+                        std::vector<double>& xq, double sigma,
+                        std::uint64_t seed, std::uint64_t sequence);
+// Batched noisy sweep: column j's noise comes from one stream per
+// (seeds[j], sequences[j], grid block-row), drawn in the serial block order
+// with the same nonzero-partial skip as the single-RHS kernel — column j is
+// bit-identical to sweep_noisy_single(x_j, seeds[j], sequences[j]) at any
+// thread count and tile split. Both spans need >= k entries.
+void sweep_noisy_multi(const RefloatMatrix& rf, const TiledPlan* tiled,
+                       std::span<const double> x, std::size_t k,
+                       std::span<double> y, MultiSpmvScratch& scratch,
+                       double sigma, std::span<const std::uint64_t> seeds,
+                       std::span<const std::uint64_t> sequences);
+
+}  // namespace detail
+
+}  // namespace refloat::core

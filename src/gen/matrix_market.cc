@@ -1,0 +1,141 @@
+#include "src/gen/matrix_market.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "src/util/log.h"
+
+namespace refloat::gen {
+
+namespace {
+
+bool fail(std::string* error, const std::string& reason) {
+  if (error != nullptr) *error = reason;
+  return false;
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+}  // namespace
+
+bool load_matrix_market(const std::string& path, sparse::Csr* out,
+                        std::string* error) {
+  std::ifstream in(path);
+  if (!in) return fail(error, "cannot open file");
+
+  std::string line;
+  if (!std::getline(in, line)) return fail(error, "empty file");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") return fail(error, "missing banner");
+  if (lower(object) != "matrix" || lower(format) != "coordinate") {
+    return fail(error, "only \"matrix coordinate\" is supported");
+  }
+  field = lower(field);
+  if (field != "real" && field != "integer") {
+    return fail(error, "only real/integer values are supported");
+  }
+  symmetry = lower(symmetry);
+  if (symmetry != "general" && symmetry != "symmetric") {
+    return fail(error, "only general/symmetric symmetry is supported");
+  }
+  const bool mirror = symmetry == "symmetric";
+
+  // Size line: first non-comment, non-blank line after the banner.
+  long long rows = 0, cols = 0, nnz = 0;
+  for (;;) {
+    if (!std::getline(in, line)) return fail(error, "missing size line");
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream size(line);
+    if (!(size >> rows >> cols >> nnz) || rows <= 0 || cols <= 0 ||
+        nnz < 0) {
+      return fail(error, "malformed size line \"" + line + "\"");
+    }
+    break;
+  }
+
+  std::vector<sparse::Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(mirror ? 2 * nnz : nnz));
+  for (long long e = 0; e < nnz;) {
+    if (!std::getline(in, line)) return fail(error, "truncated entry list");
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream entry(line);
+    long long i = 0, j = 0;
+    double v = 0.0;
+    if (!(entry >> i >> j >> v)) {
+      return fail(error, "malformed entry \"" + line + "\"");
+    }
+    if (i < 1 || i > rows || j < 1 || j > cols) {
+      return fail(error, "entry index out of range in \"" + line + "\"");
+    }
+    const sparse::Index r = static_cast<sparse::Index>(i - 1);
+    const sparse::Index c = static_cast<sparse::Index>(j - 1);
+    triplets.push_back({r, c, v});
+    if (mirror && r != c) triplets.push_back({c, r, v});
+    ++e;
+  }
+
+  *out = sparse::Csr::from_triplets(static_cast<sparse::Index>(rows),
+                                    static_cast<sparse::Index>(cols),
+                                    std::move(triplets));
+  return true;
+}
+
+BlockLayoutStats block_layout_stats(const sparse::Csr& a, int block_side) {
+  BlockLayoutStats stats;
+  stats.rows = a.rows();
+  stats.cols = a.cols();
+  stats.nnz = a.nnz();
+  stats.block_side = block_side <= 0 ? 1 : block_side;
+  const long long side = stats.block_side;
+  stats.grid_rows = (static_cast<long long>(a.rows()) + side - 1) / side;
+  const long long grid_cols =
+      (static_cast<long long>(a.cols()) + side - 1) / side;
+
+  // One pass over the CSR, counting distinct (block-row, block-col) cells.
+  std::unordered_set<long long> blocks;
+  for (sparse::Index r = 0; r < a.rows(); ++r) {
+    const long long br = static_cast<long long>(r) / side;
+    for (sparse::Index p = a.row_ptr()[static_cast<std::size_t>(r)];
+         p < a.row_ptr()[static_cast<std::size_t>(r) + 1]; ++p) {
+      const long long bc =
+          static_cast<long long>(a.col_idx()[static_cast<std::size_t>(p)]) /
+          side;
+      blocks.insert(br * grid_cols + bc);
+    }
+  }
+  stats.nonempty_blocks = static_cast<long long>(blocks.size());
+  if (stats.nonempty_blocks > 0) {
+    stats.mean_entries_per_block =
+        static_cast<double>(stats.nnz) /
+        static_cast<double>(stats.nonempty_blocks);
+    stats.block_fill = stats.mean_entries_per_block /
+                       static_cast<double>(side * side);
+  }
+  return stats;
+}
+
+void log_block_layout(const char* name, const sparse::Csr& a,
+                      int block_side) {
+  const BlockLayoutStats s = block_layout_stats(a, block_side);
+  RF_LOG_INFO(
+      "%s: %lld x %lld, nnz=%lld (%.2f/row); %dx%d blocking: "
+      "%lld nonempty blocks, %.1f entries/block (fill %.3f%%)",
+      name, static_cast<long long>(s.rows), static_cast<long long>(s.cols),
+      s.nnz,
+      s.rows > 0 ? static_cast<double>(s.nnz) / static_cast<double>(s.rows)
+                 : 0.0,
+      s.block_side, s.block_side, s.nonempty_blocks,
+      s.mean_entries_per_block, s.block_fill * 100.0);
+}
+
+}  // namespace refloat::gen

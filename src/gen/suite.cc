@@ -7,7 +7,9 @@
 #include <filesystem>
 #include <fstream>
 
+#include "src/core/format.h"
 #include "src/gen/grid.h"
+#include "src/gen/matrix_market.h"
 #include "src/gen/wathen.h"
 #include "src/util/log.h"
 #include "src/util/random.h"
@@ -251,6 +253,22 @@ void save_csr(const std::string& path, const sparse::Csr& a) {
 }
 
 sparse::Csr load_or_build(const SuiteSpec& spec, const std::string& dir) {
+  // A downloaded SuiteSparse original outranks the generated stand-in:
+  // drop <name>.mtx next to the cache (crystm03.mtx, Dubcova2.mtx, ...)
+  // and the suite serves the real matrix. A malformed file warns and falls
+  // through to the stand-in rather than failing the run.
+  const std::string mtx_path = dir + "/" + spec.name + ".mtx";
+  if (std::filesystem::exists(mtx_path)) {
+    sparse::Csr original;
+    std::string mm_error;
+    if (load_matrix_market(mtx_path, &original, &mm_error)) {
+      RF_LOG_INFO("loaded %s from %s", spec.name, mtx_path.c_str());
+      log_block_layout(spec.name, original, 1 << core::default_format().b);
+      return original;
+    }
+    RF_LOG_WARN("ignoring %s: %s", mtx_path.c_str(), mm_error.c_str());
+  }
+
   const std::string path = dir + "/" + spec.name + ".csr";
   sparse::Csr cached;
   if (load_csr(path, &cached)) return cached;

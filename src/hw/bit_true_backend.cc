@@ -1,0 +1,66 @@
+#include "src/hw/bit_true_backend.h"
+
+namespace refloat::hw {
+
+namespace {
+
+// Salt for deriving a column's noise base from its (seed, sequence)
+// identity — distinct from the block-row salt (0) the base is consumed
+// with, and from core's column-fork salt.
+constexpr std::uint64_t kBitTrueNoiseSalt = 0xb17c01ULL;
+
+}  // namespace
+
+BitTrueBackend::BitTrueBackend(const core::RefloatMatrix& rf,
+                               const ClusterConfig& config,
+                               std::uint64_t seed)
+    : rows_(static_cast<std::size_t>(rf.quantized().rows())),
+      cols_(static_cast<std::size_t>(rf.quantized().cols())),
+      hw_(rf, config),
+      default_rng_(seed) {}
+
+BitTrueBackend::BitTrueBackend(const core::RefloatMatrix& rf,
+                               const ClusterConfig& config,
+                               const core::TiledPlan& tiled,
+                               std::uint64_t seed)
+    : rows_(static_cast<std::size_t>(rf.quantized().rows())),
+      cols_(static_cast<std::size_t>(rf.quantized().cols())),
+      hw_(rf, config, tiled),
+      default_rng_(seed) {}
+
+void BitTrueBackend::sweep(std::span<const double> x, std::size_t k,
+                           std::span<double> y,
+                           const core::SweepContext& ctx) {
+  if (k == 0) return;
+  bases_.resize(k);
+  if (!hw_.noisy()) {
+    std::fill(bases_.begin(), bases_.end(), 0);
+  } else if (ctx.seeds.empty()) {
+    // Legacy caller pattern: one internal rng, one draw per column per
+    // sweep — a k=1 sweep sequence is bit-identical to
+    // `util::Rng rng(seed); hw.apply(x, y, rng)` per call.
+    for (std::size_t j = 0; j < k; ++j) bases_[j] = default_rng_.next();
+  } else {
+    // Counter-based: column j's base depends only on its own identity, so
+    // any batch containing it reproduces its solo noise streams.
+    for (std::size_t j = 0; j < k; ++j) {
+      bases_[j] =
+          util::stream_seed(ctx.seeds[j], ctx.sequences[j], kBitTrueNoiseSalt);
+    }
+  }
+  hw_.apply_multi(x, k, y, bases_);
+}
+
+std::unique_ptr<core::SweepBackend> make_bit_true_backend(
+    const core::RefloatMatrix& rf, const ClusterConfig& config,
+    std::uint64_t seed) {
+  return std::make_unique<BitTrueBackend>(rf, config, seed);
+}
+
+std::unique_ptr<core::SweepBackend> make_bit_true_backend(
+    const core::RefloatMatrix& rf, const ClusterConfig& config,
+    const core::TiledPlan& tiled, std::uint64_t seed) {
+  return std::make_unique<BitTrueBackend>(rf, config, tiled, seed);
+}
+
+}  // namespace refloat::hw

@@ -1,0 +1,66 @@
+// Bit-true SweepBackend: the hw/ crossbar datapath (stuck-at faults, ADC
+// clipping, ECC repair, optional conductance noise) behind the shared
+// core::SweepBackend interface. The expensive part — programming the
+// engines, drawing the per-tile fault populations, consuming the ECC
+// scoreboards — happens ONCE at construction and serves every subsequent
+// sweep and every column of a batch: the modeled-hardware-honest
+// amortization the arch layer prices with bit_true_spmm_time.
+//
+// Stream semantics: with an empty SweepContext, sweep number s draws its
+// per-column noise bases from one internal Rng(seed) — k=1 is exactly the
+// legacy caller pattern `util::Rng rng(seed); hw.apply(x, y, rng)` per
+// call. With explicit per-column (seeds[j], sequences[j]), column j's base
+// is a pure counter-based function of its identity, so a batched solve
+// reproduces each column's solo trajectory bit-for-bit.
+#pragma once
+
+#include <memory>
+
+#include "src/core/sweep_backend.h"
+#include "src/hw/hw_spmv.h"
+
+namespace refloat::hw {
+
+class BitTrueBackend final : public core::SweepBackend {
+ public:
+  // Monolithic programming (one tile). `seed` feeds the default-context
+  // noise base stream; fault seeds come from config.faults.seed as always.
+  BitTrueBackend(const core::RefloatMatrix& rf, const ClusterConfig& config,
+                 std::uint64_t seed = 0x817b17ULL);
+  // Tiled programming: per-tile fault populations and ECC budgets, exactly
+  // the tiled HwSpmv constructor. `tiled` is borrowed for construction only.
+  BitTrueBackend(const core::RefloatMatrix& rf, const ClusterConfig& config,
+                 const core::TiledPlan& tiled,
+                 std::uint64_t seed = 0x817b17ULL);
+
+  [[nodiscard]] std::size_t rows() const override { return rows_; }
+  [[nodiscard]] std::size_t cols() const override { return cols_; }
+  [[nodiscard]] core::BackendKind kind() const override {
+    return core::BackendKind::kBitTrue;
+  }
+  [[nodiscard]] const char* label() const override { return "hw+bittrue"; }
+
+  void sweep(std::span<const double> x, std::size_t k, std::span<double> y,
+             const core::SweepContext& ctx) override;
+
+  // The programmed datapath (fault/ECC tallies, engine stats, resident
+  // bytes) — benches and the serving layer read these.
+  [[nodiscard]] HwSpmv& hw() { return hw_; }
+  [[nodiscard]] const HwSpmv& hw() const { return hw_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  HwSpmv hw_;
+  util::Rng default_rng_;
+  std::vector<std::uint64_t> bases_;
+};
+
+std::unique_ptr<core::SweepBackend> make_bit_true_backend(
+    const core::RefloatMatrix& rf, const ClusterConfig& config,
+    std::uint64_t seed = 0x817b17ULL);
+std::unique_ptr<core::SweepBackend> make_bit_true_backend(
+    const core::RefloatMatrix& rf, const ClusterConfig& config,
+    const core::TiledPlan& tiled, std::uint64_t seed = 0x817b17ULL);
+
+}  // namespace refloat::hw

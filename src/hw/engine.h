@@ -109,6 +109,14 @@ class CrossbarCluster {
   [[nodiscard]] int planes() const { return planes_; }
   [[nodiscard]] long long faulty_cells() const { return faulty_cells_; }
   [[nodiscard]] long long ecc_corrected() const { return ecc_corrected_; }
+  // Heap bytes held by the programmed plane bit-slices.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    std::size_t bytes = 0;
+    for (const auto& plane : plane_bits_) {
+      bytes += plane.size() * sizeof(std::uint64_t);
+    }
+    return bytes;
+  }
 
  private:
   int rows_ = 0;
@@ -156,6 +164,10 @@ class ProcessingEngine {
   }
   [[nodiscard]] long long ecc_corrected() const {
     return positive_.ecc_corrected() + negative_.ecc_corrected();
+  }
+  // Heap bytes of both polarity clusters' programmed planes.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return positive_.memory_bytes() + negative_.memory_bytes();
   }
 
  private:

@@ -82,45 +82,85 @@ HwSpmv::HwSpmv(const core::RefloatMatrix& rf, ClusterConfig config,
 
 void HwSpmv::apply(std::span<const double> x, std::span<double> y,
                    util::Rng& rng) {
-  std::fill(y.begin(), y.end(), 0.0);
-  const std::size_t n_block_rows =
-      row_begin_.empty() ? 0 : row_begin_.size() - 1;
   // One caller draw seeds all per-block-row noise streams; the engines only
   // consume randomness when noise is configured.
   const std::uint64_t noise_base = noisy_ ? rng.next() : 0;
+  apply_columns(x, 1, y, {&noise_base, 1});
+}
+
+void HwSpmv::apply_multi(std::span<const double> x, std::size_t k,
+                         std::span<double> y,
+                         std::span<const std::uint64_t> noise_bases) {
+  if (k == 0) return;
+  apply_columns(x, k, y, noise_bases);
+}
+
+void HwSpmv::apply_columns(std::span<const double> x, std::size_t k,
+                           std::span<double> y,
+                           std::span<const std::uint64_t> noise_bases) {
+  std::fill(y.begin(), y.end(), 0.0);
+  const std::size_t n_block_rows =
+      row_begin_.empty() ? 0 : row_begin_.size() - 1;
+  const std::size_t n_cols = static_cast<std::size_t>(cols_);
+  const std::size_t n_rows = static_cast<std::size_t>(rows_);
   std::vector<EngineStats> row_stats(n_block_rows);
   util::ThreadPool::global().parallel_for(n_block_rows, [&](std::size_t br) {
     // Per worker thread, not per shard: every buffer is fully overwritten
     // before use, so reuse across shards/applies is safe and keeps the hot
-    // loop allocation-free. Only the Rng must be per-shard (determinism).
+    // loop allocation-free. Only the Rngs must be per-shard (determinism).
     thread_local EngineScratch scratch;
     thread_local std::vector<double> x_seg;
     thread_local std::vector<double> y_seg;
+    thread_local std::vector<util::Rng> rngs;
     x_seg.resize(static_cast<std::size_t>(side_));
     y_seg.resize(static_cast<std::size_t>(side_));
-    util::Rng block_rng(util::stream_seed(noise_base, br, 0));
+    // Column j's per-block-row stream is keyed off its own noise base —
+    // independent streams, so interleaving columns under one engine visit
+    // leaves each column's draw sequence exactly as its solo apply.
+    rngs.clear();
+    rngs.reserve(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::uint64_t base =
+          noisy_ && j < noise_bases.size() ? noise_bases[j] : 0;
+      rngs.emplace_back(util::stream_seed(base, br, 0));
+    }
     for (std::size_t i = row_begin_[br]; i < row_begin_[br + 1]; ++i) {
       const BlockEngine& be = engines_[i];
-      // Gather the (possibly edge-truncated) input segment, zero-padded to
-      // the crossbar side.
       const sparse::Index col_end =
           std::min<sparse::Index>(be.col0 + side_, cols_);
-      std::fill(x_seg.begin(), x_seg.end(), 0.0);
-      for (sparse::Index c = be.col0; c < col_end; ++c) {
-        x_seg[static_cast<std::size_t>(c - be.col0)] =
-            x[static_cast<std::size_t>(c)];
-      }
-      std::fill(y_seg.begin(), y_seg.end(), 0.0);
-      be.engine.apply(x_seg, y_seg, &row_stats[br], block_rng, scratch);
       const sparse::Index row_end =
           std::min<sparse::Index>(be.row0 + side_, rows_);
-      for (sparse::Index r = be.row0; r < row_end; ++r) {
-        y[static_cast<std::size_t>(r)] +=
-            y_seg[static_cast<std::size_t>(r - be.row0)];
+      // Engine-major, column-minor: the engine's plane bit-slices stay hot
+      // while all k columns stream through — the software mirror of one
+      // programmed crossbar serving the whole batch.
+      for (std::size_t j = 0; j < k; ++j) {
+        const double* xj = x.data() + j * n_cols;
+        double* yj = y.data() + j * n_rows;
+        // Gather the (possibly edge-truncated) input segment, zero-padded
+        // to the crossbar side.
+        std::fill(x_seg.begin(), x_seg.end(), 0.0);
+        for (sparse::Index c = be.col0; c < col_end; ++c) {
+          x_seg[static_cast<std::size_t>(c - be.col0)] =
+              xj[static_cast<std::size_t>(c)];
+        }
+        std::fill(y_seg.begin(), y_seg.end(), 0.0);
+        be.engine.apply(x_seg, y_seg, &row_stats[br], rngs[j], scratch);
+        for (sparse::Index r = be.row0; r < row_end; ++r) {
+          yj[static_cast<std::size_t>(r)] +=
+              y_seg[static_cast<std::size_t>(r - be.row0)];
+        }
       }
     }
   });
   for (const EngineStats& s : row_stats) stats_ += s;
+}
+
+std::size_t HwSpmv::resident_bytes() const {
+  std::size_t bytes = row_begin_.size() * sizeof(std::size_t);
+  for (const BlockEngine& be : engines_) {
+    bytes += sizeof(BlockEngine) + be.engine.memory_bytes();
+  }
+  return bytes;
 }
 
 }  // namespace refloat::hw

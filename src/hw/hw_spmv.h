@@ -42,8 +42,26 @@ class HwSpmv {
   void apply(std::span<const double> x, std::span<double> y,
              util::Rng& rng);
 
+  // Batched Y = A X for k column-major vectors (x.size() == k * cols) over
+  // the SAME programmed engines: the programming pass — fault populations,
+  // ECC scoreboards, plane bit-slicing — happened once at construction and
+  // is shared by every column, and each engine is visited once per batch
+  // and applied to all k columns (its plane bits stay hot). Column j draws
+  // its per-block-row noise streams from noise_bases[j], so it is
+  // bit-identical to a solo apply() whose rng.next() returned
+  // noise_bases[j]; when no noise is configured the span may be empty.
+  void apply_multi(std::span<const double> x, std::size_t k,
+                   std::span<double> y,
+                   std::span<const std::uint64_t> noise_bases);
+
   [[nodiscard]] const EngineStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t engines() const { return engines_.size(); }
+  // True when config.noise.sigma > 0 (apply consumes its rng argument).
+  [[nodiscard]] bool noisy() const { return noisy_; }
+  // Heap bytes the programmed engines pin (plane bit-slices of both
+  // polarity clusters) — what a residency cache should budget for a
+  // resident bit-true image on top of the plan/CSR bytes.
+  [[nodiscard]] std::size_t resident_bytes() const;
 
   // Programming-time fault outcome per tile (one entry for the monolithic
   // build).
@@ -62,6 +80,11 @@ class HwSpmv {
   // its fault/correction counts.
   void program_tile(const core::RefloatMatrix& rf, ClusterConfig config,
                     std::size_t block_begin, std::size_t block_end);
+  // Shared sweep body behind apply()/apply_multi(): k column-major vectors,
+  // one noise base per column.
+  void apply_columns(std::span<const double> x, std::size_t k,
+                     std::span<double> y,
+                     std::span<const std::uint64_t> noise_bases);
   struct BlockEngine {
     sparse::Index row0 = 0;
     sparse::Index col0 = 0;

@@ -1,12 +1,32 @@
 #include "src/serve/batcher.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace refloat::serve {
 
+std::string batch_key(const SolveRequest& request) {
+  switch (request.backend) {
+    case core::BackendKind::kValue:
+      return request.matrix;  // the pre-backend key, byte-for-byte
+    case core::BackendKind::kNoisy: {
+      // Round-trippable sigma so two distinct deviations never collide.
+      char sigma[40];
+      std::snprintf(sigma, sizeof(sigma), "%.17g", request.noise_sigma);
+      return request.matrix + "#noisy@" + sigma;
+    }
+    case core::BackendKind::kBitTrue:
+      return request.matrix + "#bittrue";
+  }
+  return request.matrix;
+}
+
 void Batcher::add(PendingRequest&& pending, TimePoint now) {
-  Group& group = groups_[pending.request.matrix];
-  if (group.requests.empty()) group.oldest = now;
+  Group& group = groups_[batch_key(pending.request)];
+  if (group.requests.empty()) {
+    group.matrix = pending.request.matrix;
+    group.oldest = now;
+  }
   group.requests.push_back(std::move(pending));
   ++pending_;
 }
@@ -44,7 +64,8 @@ std::optional<Batcher::ReadyBatch> Batcher::pop_ready(
     const bool full = group.requests.size() >= max_batch_;
     if (force || full || now >= ready_time(group)) {
       ReadyBatch batch;
-      batch.matrix = it->first;
+      batch.key = it->first;
+      batch.matrix = group.matrix;
       const std::size_t take = std::min(group.requests.size(), max_batch_);
       batch.requests.assign(
           std::make_move_iterator(group.requests.begin()),

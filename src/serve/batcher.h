@@ -1,7 +1,9 @@
 // Deadline-bounded same-matrix batching (docs/ARCHITECTURE.md "Serving
 // layer").
 //
-// Requests accumulate per matrix key. A group dispatches as one k-RHS
+// Requests accumulate per batch_key — (matrix, backend, noise config) —
+// so a batch is always homogeneous in everything but its right-hand sides
+// and tolerances. A group dispatches as one k-RHS
 // lockstep batch when the first of three clocks fires:
 //   * it reaches max_batch requests (a full batch),
 //   * the oldest member has waited the batch window (latency bound), or
@@ -37,6 +39,14 @@ struct PendingRequest {
   TimePoint dequeue_time{};  // picked up by the dispatcher
 };
 
+// The batching/residency identity of a request: the matrix name for
+// value-faithful solves (the pre-backend key, unchanged), extended with a
+// "#noisy@<sigma>" / "#bittrue" suffix otherwise. Requests with equal keys
+// may share a batch and a ResidencyCache entry; requests with different
+// keys never do — a noisy batch must not reuse a value backend, and two
+// sigmas are two different operators.
+std::string batch_key(const SolveRequest& request);
+
 class Batcher {
  public:
   Batcher(std::size_t max_batch, Duration window)
@@ -45,7 +55,8 @@ class Batcher {
   void add(PendingRequest&& pending, TimePoint now);
 
   struct ReadyBatch {
-    std::string matrix;
+    std::string key;     // batch_key of every member (residency-cache key)
+    std::string matrix;  // registry name (the key minus the backend tag)
     std::vector<PendingRequest> requests;  // FIFO within the group
   };
 
@@ -67,6 +78,7 @@ class Batcher {
 
  private:
   struct Group {
+    std::string matrix;  // registry name shared by every member
     std::vector<PendingRequest> requests;
     TimePoint oldest{};  // batcher arrival of requests.front()
   };

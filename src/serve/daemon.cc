@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/gen/suite.h"
+#include "src/hw/bit_true_backend.h"
 #include "src/solvers/batched.h"
 #include "src/sparse/vector_ops.h"
 #include "src/util/log.h"
@@ -231,36 +232,71 @@ void SolverDaemon::dispatch_batch(Batcher::ReadyBatch&& batch) {
     reg = it->second;
   }
 
+  // The batch key pins the execution view; every member agrees on backend
+  // kind and noise sigma by construction (batch_key groups on them).
+  const core::BackendKind kind = batch.requests.front().request.backend;
+  const double sigma = batch.requests.front().request.noise_sigma;
+
   util::Timer build_timer;
   bool cache_hit = false;
   ResidencyCache::EntryPtr entry;
   try {
     const int tiles = config_.tiles;
     entry = cache_.get_or_build(
-        batch.matrix,
-        [&reg, tiles]() -> ResidencyCache::EntryPtr {
+        batch.key,
+        [&reg, tiles, kind, sigma]() -> ResidencyCache::EntryPtr {
           util::Timer timer;
           sparse::Csr a = reg.build();
           auto built =
               std::make_shared<ResidentEntry>(core::RefloatMatrix(a, reg.format));
           // Partition strictly after the RefloatMatrix reached its final
-          // address — TiledPlan borrows a pointer into rf.plan().
+          // address — TiledPlan borrows a pointer into rf.plan(); the
+          // backend below borrows both.
           if (tiles > 1 && built->rf.plan().num_blocks() > 0) {
             built->tiled = core::TiledPlan::partition(built->rf.plan(),
                                                       {.tiles = tiles});
+          }
+          const core::TiledPlan* tp =
+              built->tiled.empty() ? nullptr : &built->tiled;
+          std::size_t backend_bytes = 0;
+          switch (kind) {
+            case core::BackendKind::kValue:
+              built->backend = core::make_value_backend(built->rf, tp);
+              break;
+            case core::BackendKind::kNoisy:
+              // The constructor seed is the empty-context fallback only;
+              // serving always passes each request's own noise_seed
+              // through the SweepContext, so 0 is never consumed.
+              built->backend = core::make_noisy_backend(built->rf, sigma,
+                                                        /*seed=*/0, tp);
+              break;
+            case core::BackendKind::kBitTrue: {
+              // Default ClusterConfig = the ideal datapath (no faults, no
+              // conductance noise): bit-true serving is deterministic and
+              // the programmed image is built once per residency — the
+              // expensive step this cache exists to amortize.
+              auto bt = tp != nullptr
+                            ? std::make_unique<hw::BitTrueBackend>(
+                                  built->rf, hw::ClusterConfig{}, *tp)
+                            : std::make_unique<hw::BitTrueBackend>(
+                                  built->rf, hw::ClusterConfig{});
+              backend_bytes = bt->hw().resident_bytes();
+              built->backend = std::move(bt);
+              break;
+            }
           }
           if (built->rf.quantized().rows() == built->rf.quantized().cols()) {
             built->indefinite =
                 built->rf.probe_definiteness().likely_indefinite();
           }
-          built->bytes =
-              built->rf.resident_bytes() + built->tiled.index_bytes();
+          built->bytes = built->rf.resident_bytes() +
+                         built->tiled.index_bytes() + backend_bytes;
           built->build_seconds = timer.seconds();
           return built;
         },
         &cache_hit);
   } catch (const std::exception& e) {
-    RF_LOG_ERROR("serve: building \"%s\" failed: %s", batch.matrix.c_str(),
+    RF_LOG_ERROR("serve: building \"%s\" failed: %s", batch.key.c_str(),
                  e.what());
   }
   if (entry == nullptr) {
@@ -302,8 +338,16 @@ void SolverDaemon::dispatch_batch(Batcher::ReadyBatch&& batch) {
   options.max_iterations = config_.max_iterations;
   options.record_trace = false;
 
+  // Per-column stream identities: each request's own noise_seed, so column
+  // c of this batch is bit-identical to a solo solve with that seed — the
+  // batch a request happens to ride in is unobservable in its answer.
+  std::vector<std::uint64_t> noise_seeds(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    noise_seeds[c] = valid[c].request.noise_seed;
+  }
+
   util::Timer solve_timer;
-  solve::RefloatMultiOperator op(entry->rf);
+  solve::BackendMultiOperator op(*entry->backend, std::move(noise_seeds));
   solve::BatchedSolveResult result =
       entry->indefinite
           ? solve::bicgstab_multi(op, b, k, options, tolerances)
@@ -323,6 +367,7 @@ void SolverDaemon::dispatch_batch(Batcher::ReadyBatch&& batch) {
     }
     response.batch_k = k;
     response.solver = solver_name_of(entry->indefinite);
+    response.backend = core::backend_kind_name(kind);
     response.cache_hit = cache_hit;
     response.latency.queue_seconds =
         std::chrono::duration<double>(p.dequeue_time - p.submit_time).count();

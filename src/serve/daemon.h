@@ -2,11 +2,13 @@
 // (ROADMAP item 1 — "the millions-of-users story end to end").
 //
 // Dataflow:  submit() -> bounded MPMC queue (admission control, shed on
-// full) -> dispatch loop -> Batcher (same-matrix, deadline-bounded k-RHS
-// batches) -> ResidencyCache (build RefloatMatrix + plans once per
-// resident matrix) -> solve::cg_multi / bicgstab_multi (probe-routed,
-// per-column tolerances) -> per-request SolveResponse with a latency
-// breakdown.
+// full) -> dispatch loop -> Batcher (deadline-bounded k-RHS batches per
+// batch_key = matrix x backend x noise config) -> ResidencyCache (build
+// RefloatMatrix + plans + the execution backend once per resident key;
+// bit-true residents own their programmed crossbar image) ->
+// solve::cg_multi / bicgstab_multi over a BackendMultiOperator
+// (probe-routed, per-column tolerances and noise streams) -> per-request
+// SolveResponse with a latency breakdown.
 //
 // Two drive modes:
 //   * threaded (default): a dispatcher thread owns the batcher and sleeps

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/sweep_backend.h"
 #include "src/solvers/solver.h"
 
 namespace refloat::serve {
@@ -34,6 +35,17 @@ struct SolveRequest {
   double tolerance = 1e-8;   // absolute residual target (||b|| = 1 setup)
   TimePoint deadline = kNoDeadline;  // shed (not solved) once this passes
   bool want_solution = true;  // false skips copying x into the response
+
+  // Execution backend the solve runs on. Requests batch (and cache a
+  // residency entry) per (matrix, backend, noise_sigma) — see batch_key —
+  // so a noisy solve never shares a batch or a programmed crossbar image
+  // with a value-faithful one.
+  core::BackendKind backend = core::BackendKind::kValue;
+  double noise_sigma = 0.02;      // noisy backend: RTN deviation (Fig. 10)
+  std::uint64_t noise_seed = 0;   // stochastic backends: this request's
+                                  // stream seed — the batched solve is
+                                  // bit-identical to a solo solve with the
+                                  // same seed, whatever batch it rides in
 };
 
 enum class ResponseStatus {
@@ -67,6 +79,7 @@ struct SolveResponse {
   std::vector<double> solution;   // empty unless kOk and want_solution
   std::size_t batch_k = 0;        // batch size this request rode in
   const char* solver = "";        // "cg" or "bicgstab" (probe-routed)
+  const char* backend = "value";  // backend_kind_name of the executing view
   bool cache_hit = false;         // matrix was already resident
   LatencyBreakdown latency;
 };

@@ -29,19 +29,26 @@
 #include <vector>
 
 #include "src/core/refloat_matrix.h"
+#include "src/core/sweep_backend.h"
 #include "src/core/tiled_plan.h"
 
 namespace refloat::serve {
 
-// One resident matrix: the built RefloatMatrix plus its tile partition
-// (views into rf.plan(); empty when running untiled). `tiled` MUST be
-// partitioned only after `rf` reached its final address — the TiledPlan
-// borrows a pointer to rf's plan.
+// One resident matrix: the built RefloatMatrix, its tile partition (views
+// into rf.plan(); empty when running untiled), and the execution backend
+// the residency key names (value / noisy / bit-true — for bit-true the
+// entry owns the programmed crossbar image, which is exactly the cost the
+// residency amortizes). Construction order matters: `tiled` and `backend`
+// borrow pointers into `rf`, so both MUST be built only after `rf` reached
+// its final address. The backend's per-sweep scratch is per-instance, and
+// batches dispatch serially on the daemon's one dispatcher (or pumping)
+// thread, so the shared-const entry handing out a mutable sweep is safe.
 struct ResidentEntry {
   explicit ResidentEntry(core::RefloatMatrix matrix) : rf(std::move(matrix)) {}
 
   core::RefloatMatrix rf;
   core::TiledPlan tiled;
+  std::unique_ptr<core::SweepBackend> backend;
   std::size_t bytes = 0;       // what the cache budgets for this entry
   bool indefinite = false;     // probe_definiteness routing verdict
   double build_seconds = 0.0;  // one-time cost the residency amortizes

@@ -200,6 +200,21 @@ std::string TcpServer::handle_line(SolverDaemon& daemon,
       if (end == seed_text.c_str() || *end != '\0') {
         return "ERR bad rhs seed \"" + seed_text + "\"";
       }
+    } else if (key == "backend") {
+      if (!core::parse_backend_kind(value, &request.backend)) {
+        return "ERR bad backend \"" + value + "\" (value|noisy|bittrue)";
+      }
+    } else if (key == "sigma") {
+      request.noise_sigma = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' ||
+          !(request.noise_sigma >= 0)) {
+        return "ERR bad sigma \"" + value + "\"";
+      }
+    } else if (key == "noise_seed") {
+      request.noise_seed = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return "ERR bad noise_seed \"" + value + "\"";
+      }
     } else {
       return "ERR unknown option \"" + key + "\"";
     }
@@ -212,6 +227,7 @@ std::string TcpServer::handle_line(SolverDaemon& daemon,
         << " iters=" << response.iterations
         << " residual=" << response.final_residual
         << " k=" << response.batch_k << " solver=" << response.solver
+        << " backend=" << response.backend
         << " hit=" << (response.cache_hit ? 1 : 0)
         << " queue_ms=" << ms(response.latency.queue_seconds)
         << " build_ms=" << ms(response.latency.build_seconds)

@@ -18,6 +18,46 @@ void SequentialMultiOperator::apply_multi(std::span<const double> x,
   }
 }
 
+BackendMultiOperator::BackendMultiOperator(core::SweepBackend& backend,
+                                           std::size_t k, std::uint64_t seed)
+    : backend_(backend), counters_(k, 0) {
+  seeds_.resize(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    seeds_[j] =
+        j == 0 ? seed : util::stream_seed(seed, j, core::kColumnForkSalt);
+  }
+}
+
+BackendMultiOperator::BackendMultiOperator(core::SweepBackend& backend,
+                                           std::vector<std::uint64_t> seeds)
+    : backend_(backend),
+      seeds_(std::move(seeds)),
+      counters_(seeds_.size(), 0) {}
+
+void BackendMultiOperator::apply_multi(std::span<const double> x,
+                                       std::size_t k, std::span<double> y) {
+  identity_.resize(k);
+  for (std::size_t j = 0; j < k; ++j) identity_[j] = j;
+  apply_multi_cols(x, k, y, identity_);
+}
+
+void BackendMultiOperator::apply_multi_cols(
+    std::span<const double> x, std::size_t k, std::span<double> y,
+    std::span<const std::size_t> columns) {
+  // Pass each packed column its OWN (seed, application-count) identity:
+  // the streams a solo solve of that column would be consuming right now.
+  ctx_seeds_.resize(k);
+  ctx_sequences_.resize(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::size_t c = columns[j];
+    ctx_seeds_[j] = seeds_[c];
+    ctx_sequences_[j] = counters_[c];
+  }
+  backend_.sweep(x, k, y,
+                 {.seeds = ctx_seeds_, .sequences = ctx_sequences_});
+  for (std::size_t j = 0; j < k; ++j) ++counters_[columns[j]];
+}
+
 namespace {
 
 // Per-column bookkeeping shared by both lockstep drivers. The column's
@@ -75,6 +115,8 @@ void drop_done(std::vector<std::size_t>& active,
 // Packs the active columns' vectors into a dense batch, applies, and
 // scatters the results back into each column's destination array. The
 // copies move bits, not arithmetic, so column results match single applies.
+// Every apply goes through apply_multi_cols with the active column ids, so
+// stochastic operators keep per-column stream identity through dropout.
 void batched_apply(MultiOperator& op, const std::vector<std::size_t>& active,
                    const std::vector<double>& src, std::vector<double>& dst,
                    std::size_t n, std::vector<double>& in_buf,
@@ -85,7 +127,7 @@ void batched_apply(MultiOperator& op, const std::vector<std::size_t>& active,
   // full size means the identity set) the column-major arrays already ARE
   // the batch — skip the 2*k*n pack/scatter copies of the common case.
   if (ka * n == src.size()) {
-    op.apply_multi(src, ka, dst);
+    op.apply_multi_cols(src, ka, dst, active);
     tally.batched_applies += 1;
     tally.column_applies += static_cast<long>(ka);
     return;
@@ -96,7 +138,8 @@ void batched_apply(MultiOperator& op, const std::vector<std::size_t>& active,
     const auto from = column(src, active[idx], n);
     std::copy(from.begin(), from.end(), in_buf.begin() + idx * n);
   }
-  op.apply_multi({in_buf.data(), ka * n}, ka, {out_buf.data(), ka * n});
+  op.apply_multi_cols({in_buf.data(), ka * n}, ka, {out_buf.data(), ka * n},
+                      active);
   for (std::size_t idx = 0; idx < ka; ++idx) {
     const auto to = column(dst, active[idx], n);
     std::copy(out_buf.begin() + idx * n, out_buf.begin() + (idx + 1) * n,

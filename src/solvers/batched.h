@@ -16,11 +16,13 @@
 // batching.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "src/core/refloat_matrix.h"
+#include "src/core/sweep_backend.h"
 #include "src/solvers/solver.h"
 
 namespace refloat::solve {
@@ -34,6 +36,18 @@ class MultiOperator {
   virtual ~MultiOperator() = default;
   virtual void apply_multi(std::span<const double> x, std::size_t k,
                            std::span<double> y) = 0;
+  // Batched apply over an explicit column subset: `columns` (k entries)
+  // names the original batch column each packed vector belongs to. The
+  // lockstep drivers route every apply through this so stochastic
+  // implementations can keep per-column stream identity when converged
+  // columns drop out of the pack; the default discards the identities and
+  // delegates to apply_multi — correct for deterministic operators.
+  virtual void apply_multi_cols(std::span<const double> x, std::size_t k,
+                                std::span<double> y,
+                                std::span<const std::size_t> columns) {
+    (void)columns;
+    apply_multi(x, k, y);
+  }
   [[nodiscard]] virtual sparse::Index dim() const = 0;
   [[nodiscard]] virtual std::string label() const = 0;
 };
@@ -73,6 +87,48 @@ class RefloatMultiOperator final : public MultiOperator {
  private:
   const core::RefloatMatrix& rf_;
   core::MultiSpmvScratch scratch_;
+};
+
+// Routes the lockstep drivers through any core::SweepBackend — the one
+// adapter that batches all three execution views (value / noisy /
+// bit-true). For stochastic backends it maintains each column's solo
+// stream identity: column j keeps its own seed and a private application
+// counter that advances only when the column participates in an apply —
+// exactly the (seed, sequence++) stream the column's solo operator would
+// consume — so every column of a batched noisy or bit-true solve is
+// bit-identical to its solo solve, through dropout, restarts, and early
+// exits. The backend is borrowed; one operator instance per solve.
+class BackendMultiOperator final : public MultiOperator {
+ public:
+  // Capacity `k` columns; stochastic identities fork `seed` per column
+  // (column 0 keeps it verbatim, matching the single-RHS operators).
+  BackendMultiOperator(core::SweepBackend& backend, std::size_t k,
+                       std::uint64_t seed = 0x5eedULL);
+  // Explicit per-column seeds (e.g. the serving layer passing each
+  // request's own noise seed).
+  BackendMultiOperator(core::SweepBackend& backend,
+                       std::vector<std::uint64_t> seeds);
+
+  void apply_multi(std::span<const double> x, std::size_t k,
+                   std::span<double> y) override;
+  void apply_multi_cols(std::span<const double> x, std::size_t k,
+                        std::span<double> y,
+                        std::span<const std::size_t> columns) override;
+  [[nodiscard]] sparse::Index dim() const override {
+    return static_cast<sparse::Index>(backend_.rows());
+  }
+  [[nodiscard]] std::string label() const override {
+    return std::string(backend_.label()) + "+batched";
+  }
+  [[nodiscard]] core::SweepBackend& backend() { return backend_; }
+
+ private:
+  core::SweepBackend& backend_;
+  std::vector<std::uint64_t> seeds_;     // per original batch column
+  std::vector<std::uint64_t> counters_;  // applies the column took part in
+  std::vector<std::uint64_t> ctx_seeds_;
+  std::vector<std::uint64_t> ctx_sequences_;
+  std::vector<std::size_t> identity_;
 };
 
 struct BatchedSolveResult {

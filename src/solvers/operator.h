@@ -9,10 +9,12 @@
 // distinct instances (one per solve) can run side by side.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "src/core/refloat_matrix.h"
+#include "src/core/sweep_backend.h"
 #include "src/solvers/solver.h"
 #include "src/sparse/csr.h"
 #include "src/util/random.h"
@@ -37,33 +39,24 @@ class CsrOperator final : public LinearOperator {
 // `tiles` > 1 routes every apply through the tile-sharded path (a pure
 // scheduling change — bit-identical to the untiled sweep); the default
 // follows $REFLOAT_TILES. The label stays "refloat" because tiling cannot
-// change any cached result.
+// change any cached result. A thin k=1 adapter over the value-faithful
+// core::SweepBackend.
 class RefloatOperator final : public LinearOperator {
  public:
   explicit RefloatOperator(const core::RefloatMatrix& rf,
                            int tiles = core::default_tile_count())
-      : rf_(rf) {
-    if (tiles > 1 && rf.plan().num_blocks() > 0) {
-      tiled_ = core::TiledPlan::partition(rf.plan(), {.tiles = tiles});
-    }
-  }
+      : rf_(rf), backend_(core::make_value_backend(rf, tiles)) {}
   void apply(std::span<const double> x, std::span<double> y) override {
-    if (tiled_.empty()) {
-      rf_.spmv_refloat(x, y, scratch_);
-    } else {
-      rf_.spmv_refloat_tiled(tiled_, x, y, scratch_);
-    }
+    backend_->sweep(x, 1, y, {});
   }
   [[nodiscard]] sparse::Index dim() const override {
     return rf_.quantized().rows();
   }
   [[nodiscard]] std::string label() const override { return "refloat"; }
-  [[nodiscard]] const core::TiledPlan& tiled() const { return tiled_; }
 
  private:
   const core::RefloatMatrix& rf_;
-  core::TiledPlan tiled_;  // empty when running untiled
-  std::vector<double> scratch_;
+  std::unique_ptr<core::SweepBackend> backend_;
 };
 
 // Feinberg et al. [32]: matrix-global shared exponent, 52-bit fixed-point
@@ -123,22 +116,15 @@ class NoisyRefloatOperator final : public LinearOperator {
  public:
   // As with RefloatOperator, `tiles` > 1 is a pure scheduling change: the
   // noise streams stay keyed per (seed, application, block-row), so the
-  // tiled solve is bit-identical to the untiled one.
+  // tiled solve is bit-identical to the untiled one. A k=1 adapter over
+  // the noisy core::SweepBackend, whose default context IS the
+  // (seed, application-counter) stream this operator always used.
   NoisyRefloatOperator(const core::RefloatMatrix& rf, double sigma,
                        std::uint64_t seed,
                        int tiles = core::default_tile_count())
-      : rf_(rf), sigma_(sigma), seed_(seed) {
-    if (tiles > 1 && rf.plan().num_blocks() > 0) {
-      tiled_ = core::TiledPlan::partition(rf.plan(), {.tiles = tiles});
-    }
-  }
+      : rf_(rf), backend_(core::make_noisy_backend(rf, sigma, seed, tiles)) {}
   void apply(std::span<const double> x, std::span<double> y) override {
-    if (tiled_.empty()) {
-      rf_.spmv_refloat_noisy(x, y, scratch_, sigma_, seed_, sequence_++);
-    } else {
-      rf_.spmv_refloat_noisy_tiled(tiled_, x, y, scratch_, sigma_, seed_,
-                                   sequence_++);
-    }
+    backend_->sweep(x, 1, y, {});
   }
   [[nodiscard]] sparse::Index dim() const override {
     return rf_.quantized().rows();
@@ -147,11 +133,7 @@ class NoisyRefloatOperator final : public LinearOperator {
 
  private:
   const core::RefloatMatrix& rf_;
-  double sigma_;
-  std::uint64_t seed_;
-  std::uint64_t sequence_ = 0;  // distinct noise per application
-  core::TiledPlan tiled_;       // empty when running untiled
-  std::vector<double> scratch_;
+  std::unique_ptr<core::SweepBackend> backend_;
 };
 
 }  // namespace refloat::solve

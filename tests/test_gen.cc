@@ -2,8 +2,10 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "src/gen/grid.h"
+#include "src/gen/matrix_market.h"
 #include "src/gen/rcm.h"
 #include "src/gen/suite.h"
 #include "src/gen/wathen.h"
@@ -135,6 +137,102 @@ TEST(Suite, CsrCacheRoundTrips) {
   }
   EXPECT_FALSE(load_csr(dir + "/missing.csr", &loaded));
   std::filesystem::remove_all(dir);
+}
+
+namespace {
+
+std::string write_temp(const std::string& name, const std::string& text) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "refloat_test_mm").string();
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/" + name;
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  return path;
+}
+
+}  // namespace
+
+TEST(MatrixMarket, ParsesGeneralCoordinateReal) {
+  const std::string path = write_temp("general.mtx",
+                                      "%%MatrixMarket matrix coordinate real general\n"
+                                      "% a comment\n"
+                                      "\n"
+                                      "3 3 4\n"
+                                      "1 1 2.5\n"
+                                      "2 3 -1.0\n"
+                                      "3 1 4.0\n"
+                                      "3 3 1.0\n");
+  sparse::Csr a;
+  std::string error;
+  ASSERT_TRUE(load_matrix_market(path, &a, &error)) << error;
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 3);
+  EXPECT_EQ(a.nnz(), 4);
+  // Row 3 holds (3,1)=4 and (3,3)=1 in column order.
+  EXPECT_EQ(a.row_ptr()[2], 2);
+  EXPECT_EQ(a.row_ptr()[3], 4);
+  EXPECT_EQ(a.values()[a.row_ptr()[2]], 4.0);
+}
+
+TEST(MatrixMarket, SymmetricMirrorsOffDiagonal) {
+  const std::string path = write_temp("symmetric.mtx",
+                                      "%%MatrixMarket matrix coordinate real symmetric\n"
+                                      "3 3 3\n"
+                                      "1 1 2.0\n"
+                                      "2 1 -0.5\n"
+                                      "3 3 1.5\n");
+  sparse::Csr a;
+  std::string error;
+  ASSERT_TRUE(load_matrix_market(path, &a, &error)) << error;
+  // The (2,1) entry mirrors to (1,2); diagonals do not duplicate.
+  EXPECT_EQ(a.nnz(), 4);
+  std::vector<double> x = {1.0, 0.0, 0.0};
+  std::vector<double> y(3);
+  a.spmv(x, y);
+  EXPECT_EQ(y[0], 2.0);
+  EXPECT_EQ(y[1], -0.5);  // the mirrored lower triangle
+}
+
+TEST(MatrixMarket, RejectsUnsupportedHeadersAndBadEntries) {
+  sparse::Csr a;
+  std::string error;
+  EXPECT_FALSE(load_matrix_market(
+      write_temp("complex.mtx",
+                 "%%MatrixMarket matrix coordinate complex general\n1 1 1\n"
+                 "1 1 1.0 0.0\n"),
+      &a, &error));
+  EXPECT_FALSE(load_matrix_market(
+      write_temp("array.mtx",
+                 "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n"),
+      &a, &error));
+  EXPECT_FALSE(load_matrix_market(
+      write_temp("range.mtx",
+                 "%%MatrixMarket matrix coordinate real general\n2 2 1\n"
+                 "3 1 1.0\n"),
+      &a, &error));
+  EXPECT_FALSE(load_matrix_market(
+      write_temp("truncated.mtx",
+                 "%%MatrixMarket matrix coordinate real general\n2 2 2\n"
+                 "1 1 1.0\n"),
+      &a, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(MatrixMarket, BlockLayoutStatsCountNonemptyBlocks) {
+  // 5-point 16x12 stencil under 16x16 blocking: the diagonal plus the
+  // off-diagonal neighbour bands touch a banded set of the 12x12 grid.
+  const sparse::Csr a = build_stencil(laplace2d_5pt(16, 12)).shifted(0.1);
+  const BlockLayoutStats s = block_layout_stats(a, 16);
+  EXPECT_EQ(s.rows, 192);
+  EXPECT_EQ(s.block_side, 16);
+  EXPECT_EQ(s.grid_rows, 12);
+  EXPECT_GT(s.nonempty_blocks, 0);
+  EXPECT_LE(s.nonempty_blocks, 12 * 12);
+  EXPECT_GT(s.mean_entries_per_block, 0.0);
+  EXPECT_LE(s.block_fill, 1.0);
+  // All nonzeros accounted for.
+  EXPECT_EQ(static_cast<long long>(a.nnz()), s.nnz);
 }
 
 }  // namespace

@@ -317,6 +317,102 @@ TEST(Serve, ProbeRoutesIndefiniteToBicgstab) {
   EXPECT_STREQ(indef_response.solver, "bicgstab");
 }
 
+TEST(Serve, BackendsBatchSeparatelyAndNoisyMatchesSolo) {
+  // A value and a noisy request on the same matrix must NOT share a batch
+  // (different batch_key) nor a residency entry, and the noisy answer is
+  // bit-identical to a solo noisy solve with the request's noise_seed.
+  SolverDaemon daemon(manual_config());
+  register_test_matrix(daemon);
+  const sparse::Csr a = test_csr();
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  const std::vector<double> b = solve::make_rhs_batch(a, 2);
+  const double sigma = 1e-3;
+  const std::uint64_t noise_seed = 77;
+
+  SolveRequest value;
+  value.matrix = kName;
+  value.rhs = batch_column(b, n, 0);
+  auto f_value = daemon.submit(std::move(value));
+
+  SolveRequest noisy;
+  noisy.matrix = kName;
+  noisy.rhs = batch_column(b, n, 1);
+  noisy.backend = core::BackendKind::kNoisy;
+  noisy.noise_sigma = sigma;
+  noisy.noise_seed = noise_seed;
+  auto f_noisy = daemon.submit(std::move(noisy));
+
+  const TimePoint t0 = Clock::now();
+  daemon.pump(t0);
+  daemon.pump(t0 + milliseconds(3));
+
+  const SolveResponse value_response = f_value.get();
+  const SolveResponse noisy_response = f_noisy.get();
+  EXPECT_EQ(value_response.status, ResponseStatus::kOk);
+  EXPECT_STREQ(value_response.backend, "value");
+  EXPECT_EQ(value_response.batch_k, 1u);  // never pooled across backends
+  EXPECT_EQ(noisy_response.status, ResponseStatus::kOk);
+  EXPECT_STREQ(noisy_response.backend, "noisy");
+  EXPECT_EQ(noisy_response.batch_k, 1u);
+  const ServeStats stats = daemon.stats();
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.cache.resident_count, 2u);  // one entry per backend key
+
+  const core::RefloatMatrix rf(a, test_format());
+  solve::NoisyRefloatOperator op(rf, sigma, noise_seed);
+  solve::SolveOptions options;
+  options.tolerance = 1e-8;
+  options.record_trace = false;
+  const solve::SolveResult want =
+      solve::cg(op, batch_column(b, n, 1), options);
+  EXPECT_EQ(noisy_response.iterations, want.iterations);
+  EXPECT_EQ(noisy_response.final_residual, want.final_residual);
+  ASSERT_EQ(noisy_response.solution.size(), want.solution.size());
+  for (std::size_t i = 0; i < want.solution.size(); ++i) {
+    ASSERT_EQ(noisy_response.solution[i], want.solution[i]) << "row " << i;
+  }
+}
+
+TEST(Serve, BitTrueRequestsServeDeterministically) {
+  // The bit-true backend serves through the daemon (ideal datapath): the
+  // same request twice hits the cached programmed image the second time
+  // and returns the identical trajectory.
+  SolverDaemon daemon(manual_config());
+  register_test_matrix(daemon);
+
+  auto make_request = [] {
+    SolveRequest request;
+    request.matrix = kName;
+    request.rhs_seed = 5;
+    request.tolerance = 1e-6;
+    request.backend = core::BackendKind::kBitTrue;
+    return request;
+  };
+
+  auto first = daemon.submit(make_request());
+  TimePoint t0 = Clock::now();
+  daemon.pump(t0);
+  daemon.pump(t0 + milliseconds(3));
+  const SolveResponse r1 = first.get();
+  ASSERT_EQ(r1.status, ResponseStatus::kOk);
+  EXPECT_STREQ(r1.backend, "bittrue");
+  EXPECT_FALSE(r1.cache_hit);
+
+  auto second = daemon.submit(make_request());
+  t0 = Clock::now();
+  daemon.pump(t0);
+  daemon.pump(t0 + milliseconds(3));
+  const SolveResponse r2 = second.get();
+  ASSERT_EQ(r2.status, ResponseStatus::kOk);
+  EXPECT_TRUE(r2.cache_hit);
+  EXPECT_EQ(r2.iterations, r1.iterations);
+  EXPECT_EQ(r2.final_residual, r1.final_residual);
+  ASSERT_EQ(r2.solution.size(), r1.solution.size());
+  for (std::size_t i = 0; i < r1.solution.size(); ++i) {
+    ASSERT_EQ(r2.solution[i], r1.solution[i]) << "row " << i;
+  }
+}
+
 TEST(Serve, ShutdownFlushesPendingAndRejectsNew) {
   SolverDaemon daemon(manual_config());
   register_test_matrix(daemon);
