@@ -17,9 +17,11 @@
 //   spmv_threads/T        spmv_e2e on the active ISA at T = 1/2/4/8 pool
 //                         threads
 //   backend_sweep/<kind>  the unified core::SweepBackend sweep entry
-//                         (value / noisy) at k = 1 and k = 8 — gates the
-//                         backend dispatch overhead and the batched noisy
-//                         kernel's per-RHS cost
+//                         (value / noisy / value_checked) at k = 1 and
+//                         k = 8 — gates the backend dispatch overhead, the
+//                         batched noisy kernel's per-RHS cost, and the ABFT
+//                         checked-mode epilogue (value_checked vs value is
+//                         the checksum verification overhead)
 //   calibration           fixed serial FP dependency chain; pure host-speed
 //                         probe used by bench_compare.py --normalize to
 //                         factor machine speed out of cross-host baselines
@@ -207,7 +209,8 @@ void spmv_e2e(benchmark::State& state, core::SimdIsa isa, int threads) {
 
 // --- backend_sweep: the unified SweepBackend entry point -------------------
 
-void backend_sweep(benchmark::State& state, core::BackendKind kind) {
+void backend_sweep(benchmark::State& state, core::BackendKind kind,
+                   bool checked = false) {
   core::simd_set_isa(core::simd_best_supported());
   util::ThreadPool::set_global_threads(1);
   const Workload& w = workload(state.range(0));
@@ -217,12 +220,21 @@ void backend_sweep(benchmark::State& state, core::BackendKind kind) {
       kind == core::BackendKind::kNoisy
           ? core::make_noisy_backend(w.rf, 1e-3, 42)
           : core::make_value_backend(w.rf);
+  // Checked mode: the ABFT epilogue verifies sum(Y_j) against the checksum
+  // row per column — the overhead the serving daemon pays on every sweep.
+  const core::AbftChecksum abft = core::make_abft_checksum(w.rf);
+  core::SweepVerdict verdict;
+  core::SweepContext ctx;
+  if (checked) {
+    backend->set_abft(&abft);
+    ctx.verdict = &verdict;
+  }
   util::Rng rng(29);
   std::vector<double> x(n * k);
   for (double& v : x) v = rng.gaussian();
   std::vector<double> y(n * k);
   for (auto _ : state) {
-    backend->sweep(x, k, y, {});
+    backend->sweep(x, k, y, ctx);
     benchmark::DoNotOptimize(y.data());
   }
   state.SetItemsProcessed(static_cast<long>(state.iterations()) *
@@ -288,6 +300,12 @@ void register_all() {
   benchmark::RegisterBenchmark(
       "backend_sweep/noisy",
       [](benchmark::State& s) { backend_sweep(s, core::BackendKind::kNoisy); })
+      ->Args({64, 1})->Args({64, 8});
+  benchmark::RegisterBenchmark(
+      "backend_sweep/value_checked",
+      [](benchmark::State& s) {
+        backend_sweep(s, core::BackendKind::kValue, /*checked=*/true);
+      })
       ->Args({64, 1})->Args({64, 8});
   benchmark::RegisterBenchmark("calibration", calibration);
 }

@@ -253,6 +253,65 @@ void quantize_span_fast_avx2(const double* x, std::size_t n,
   if (i < n) quantize_span_fast_scalar(x + i, n - i, args, out + i);
 }
 
+// Eight-lane ABFT reduction: one ymm register pair per accumulator, lane l
+// of {lo, hi} holding elements congruent to l mod 8 — exactly the scalar
+// reference's lane split. |t| is the sign-bit mask (the scalar std::abs
+// compiles to the same andpd), and the cross-lane combine defers to the
+// shared scalar expression, so the result is bit-identical to the
+// reference at every length.
+void abft_reduce_avx2(const double* w, const double* x, std::size_t nx,
+                      const double* y, std::size_t ny, double* out) {
+  const __m256d abs_mask = _mm256_castsi256_pd(
+      _mm256_set1_epi64x(0x7fffffffffffffffLL));
+  __m256d chk_lo = _mm256_setzero_pd(), chk_hi = _mm256_setzero_pd();
+  __m256d cab_lo = _mm256_setzero_pd(), cab_hi = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= nx; i += 8) {
+    const __m256d t_lo =
+        _mm256_mul_pd(_mm256_loadu_pd(w + i), _mm256_loadu_pd(x + i));
+    const __m256d t_hi =
+        _mm256_mul_pd(_mm256_loadu_pd(w + i + 4), _mm256_loadu_pd(x + i + 4));
+    chk_lo = _mm256_add_pd(chk_lo, t_lo);
+    chk_hi = _mm256_add_pd(chk_hi, t_hi);
+    cab_lo = _mm256_add_pd(cab_lo, _mm256_and_pd(t_lo, abs_mask));
+    cab_hi = _mm256_add_pd(cab_hi, _mm256_and_pd(t_hi, abs_mask));
+  }
+  alignas(32) double chk[8], chk_abs[8];
+  _mm256_store_pd(chk, chk_lo);
+  _mm256_store_pd(chk + 4, chk_hi);
+  _mm256_store_pd(chk_abs, cab_lo);
+  _mm256_store_pd(chk_abs + 4, cab_hi);
+  for (; i < nx; ++i) {
+    const double t = w[i] * x[i];
+    chk[0] += t;
+    chk_abs[0] += std::abs(t);
+  }
+  __m256d sum_lo = _mm256_setzero_pd(), sum_hi = _mm256_setzero_pd();
+  __m256d sab_lo = _mm256_setzero_pd(), sab_hi = _mm256_setzero_pd();
+  std::size_t r = 0;
+  for (; r + 8 <= ny; r += 8) {
+    const __m256d v_lo = _mm256_loadu_pd(y + r);
+    const __m256d v_hi = _mm256_loadu_pd(y + r + 4);
+    sum_lo = _mm256_add_pd(sum_lo, v_lo);
+    sum_hi = _mm256_add_pd(sum_hi, v_hi);
+    sab_lo = _mm256_add_pd(sab_lo, _mm256_and_pd(v_lo, abs_mask));
+    sab_hi = _mm256_add_pd(sab_hi, _mm256_and_pd(v_hi, abs_mask));
+  }
+  alignas(32) double sum[8], sum_abs[8];
+  _mm256_store_pd(sum, sum_lo);
+  _mm256_store_pd(sum + 4, sum_hi);
+  _mm256_store_pd(sum_abs, sab_lo);
+  _mm256_store_pd(sum_abs + 4, sab_hi);
+  for (; r < ny; ++r) {
+    sum[0] += y[r];
+    sum_abs[0] += std::abs(y[r]);
+  }
+  out[0] = detail::abft_lane_combine(chk);
+  out[1] = detail::abft_lane_combine(chk_abs);
+  out[2] = detail::abft_lane_combine(sum);
+  out[3] = detail::abft_lane_combine(sum_abs);
+}
+
 }  // namespace
 
 const SweepKernels* avx2_sweep_kernels() {
@@ -260,6 +319,7 @@ const SweepKernels* avx2_sweep_kernels() {
       &spmv_block_row_avx2,
       &spmm_block_row_avx2,
       &quantize_span_fast_avx2,
+      &abft_reduce_avx2,
   };
   return &kTable;
 }

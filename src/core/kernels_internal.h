@@ -30,6 +30,19 @@ void quantize_span_fast_scalar(const double* x, std::size_t n,
 
 namespace refloat::core::detail {
 
+// Pinned cross-lane combine of the ABFT reduction's eight logical lanes
+// (SweepKernels::abft_reduce). The pairing is chosen so every ISA reaches
+// it with plain vector adds: a 256-bit register pair combines as
+// lane+lane[+4] first, a 128-bit quartet as the same sums read two lanes
+// at a time — either way the scalar expression below is the last word.
+inline double abft_lane_combine(const double* lane) {
+  const double m0 = lane[0] + lane[4];
+  const double m1 = lane[1] + lane[5];
+  const double m2 = lane[2] + lane[6];
+  const double m3 = lane[3] + lane[7];
+  return (m0 + m2) + (m1 + m3);
+}
+
 // Biased exponent field of the IEEE double: 0 = zero/denormal,
 // 0x7ff = inf/nan, otherwise true exponent + 1023.
 inline int exponent_field(double v) {

@@ -129,6 +129,62 @@ void quantize_span_fast_neon(const double* x, std::size_t n,
   if (i < n) quantize_span_fast_scalar(x + i, n - i, args, out + i);
 }
 
+// Eight-lane ABFT reduction: four 128-bit accumulators per sum, register
+// pair (q, q+1) holding logical lanes (2q, 2q+1) — the same element-mod-8
+// lane split as the scalar reference, with vabsq_f64 standing in for
+// std::abs and the shared scalar expression doing the cross-lane combine.
+void abft_reduce_neon(const double* w, const double* x, std::size_t nx,
+                      const double* y, std::size_t ny, double* out) {
+  float64x2_t chk_q[4] = {vdupq_n_f64(0.0), vdupq_n_f64(0.0),
+                          vdupq_n_f64(0.0), vdupq_n_f64(0.0)};
+  float64x2_t cab_q[4] = {vdupq_n_f64(0.0), vdupq_n_f64(0.0),
+                          vdupq_n_f64(0.0), vdupq_n_f64(0.0)};
+  std::size_t i = 0;
+  for (; i + 8 <= nx; i += 8) {
+    for (int q = 0; q < 4; ++q) {
+      const float64x2_t t = vmulq_f64(vld1q_f64(w + i + 2 * q),
+                                      vld1q_f64(x + i + 2 * q));
+      chk_q[q] = vaddq_f64(chk_q[q], t);
+      cab_q[q] = vaddq_f64(cab_q[q], vabsq_f64(t));
+    }
+  }
+  double chk[8], chk_abs[8];
+  for (int q = 0; q < 4; ++q) {
+    vst1q_f64(chk + 2 * q, chk_q[q]);
+    vst1q_f64(chk_abs + 2 * q, cab_q[q]);
+  }
+  for (; i < nx; ++i) {
+    const double t = w[i] * x[i];
+    chk[0] += t;
+    chk_abs[0] += std::abs(t);
+  }
+  float64x2_t sum_q[4] = {vdupq_n_f64(0.0), vdupq_n_f64(0.0),
+                          vdupq_n_f64(0.0), vdupq_n_f64(0.0)};
+  float64x2_t sab_q[4] = {vdupq_n_f64(0.0), vdupq_n_f64(0.0),
+                          vdupq_n_f64(0.0), vdupq_n_f64(0.0)};
+  std::size_t r = 0;
+  for (; r + 8 <= ny; r += 8) {
+    for (int q = 0; q < 4; ++q) {
+      const float64x2_t v = vld1q_f64(y + r + 2 * q);
+      sum_q[q] = vaddq_f64(sum_q[q], v);
+      sab_q[q] = vaddq_f64(sab_q[q], vabsq_f64(v));
+    }
+  }
+  double sum[8], sum_abs[8];
+  for (int q = 0; q < 4; ++q) {
+    vst1q_f64(sum + 2 * q, sum_q[q]);
+    vst1q_f64(sum_abs + 2 * q, sab_q[q]);
+  }
+  for (; r < ny; ++r) {
+    sum[0] += y[r];
+    sum_abs[0] += std::abs(y[r]);
+  }
+  out[0] = detail::abft_lane_combine(chk);
+  out[1] = detail::abft_lane_combine(chk_abs);
+  out[2] = detail::abft_lane_combine(sum);
+  out[3] = detail::abft_lane_combine(sum_abs);
+}
+
 }  // namespace
 
 const SweepKernels* neon_sweep_kernels() {
@@ -136,6 +192,7 @@ const SweepKernels* neon_sweep_kernels() {
       &spmv_block_row_neon,
       &spmm_block_row_neon,
       &quantize_span_fast_neon,
+      &abft_reduce_neon,
   };
   return &kTable;
 }

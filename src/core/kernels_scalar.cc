@@ -135,11 +135,57 @@ void quantize_span_fast_scalar(const double* x, std::size_t n,
   }
 }
 
+// The ABFT reduction's pinned semantics: eight independent accumulator
+// lanes (element index mod 8), serial tail into lane 0, then the fixed
+// detail::abft_lane_combine pairing. The vector ISAs hold the same lanes
+// in registers and perform the same IEEE ops per element, so their sums
+// are bit-identical to this loop.
+namespace {
+
+void abft_reduce_scalar(const double* __restrict__ w,
+                        const double* __restrict__ x, std::size_t nx,
+                        const double* __restrict__ y, std::size_t ny,
+                        double* out) {
+  double chk[8] = {}, chk_abs[8] = {};
+  std::size_t i = 0;
+  for (; i + 8 <= nx; i += 8) {
+    for (std::size_t l = 0; l < 8; ++l) {
+      const double t = w[i + l] * x[i + l];
+      chk[l] += t;
+      chk_abs[l] += std::abs(t);
+    }
+  }
+  for (; i < nx; ++i) {
+    const double t = w[i] * x[i];
+    chk[0] += t;
+    chk_abs[0] += std::abs(t);
+  }
+  double sum[8] = {}, sum_abs[8] = {};
+  std::size_t r = 0;
+  for (; r + 8 <= ny; r += 8) {
+    for (std::size_t l = 0; l < 8; ++l) {
+      sum[l] += y[r + l];
+      sum_abs[l] += std::abs(y[r + l]);
+    }
+  }
+  for (; r < ny; ++r) {
+    sum[0] += y[r];
+    sum_abs[0] += std::abs(y[r]);
+  }
+  out[0] = detail::abft_lane_combine(chk);
+  out[1] = detail::abft_lane_combine(chk_abs);
+  out[2] = detail::abft_lane_combine(sum);
+  out[3] = detail::abft_lane_combine(sum_abs);
+}
+
+}  // namespace
+
 const SweepKernels* scalar_sweep_kernels() {
   static const SweepKernels kTable = {
       &spmv_block_row_scalar,
       &spmm_block_row_scalar,
       &quantize_span_fast_scalar,
+      &abft_reduce_scalar,
   };
   return &kTable;
 }

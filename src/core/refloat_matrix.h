@@ -78,6 +78,12 @@ class RefloatMatrix {
   // below, hw::HwSpmv programming, the storage model). Empty when
   // format().b == 0 (scalar formats have no blocks).
   [[nodiscard]] const SpmvPlan& plan() const { return plan_; }
+  // Mutable access to the plan arena, for the fault-injection layer only:
+  // the kPlanBuild site corrupts a freshly built plan in place so ABFT
+  // checksum verification (computed from quantized(), not the plan) can
+  // prove it detects silent plan corruption. Production code never calls
+  // this.
+  [[nodiscard]] SpmvPlan& mutable_plan() { return plan_; }
 
   // Runs `steps` Lanczos iterations on quantized() (square matrices only)
   // and caches the extreme Ritz values into stats() — a cheap definiteness

@@ -86,6 +86,18 @@ struct SweepKernels {
   // 2^52 magic rounding); out-of-path lanes fall back to quantize_value.
   void (*quantize_span_fast)(const double* x, std::size_t n,
                              const QuantSpanArgs& args, double* out);
+  // ABFT epilogue reduction for one checked column:
+  //   out[0] = sum_i w[i]*x[i]       out[1] = sum_i |w[i]*x[i]|
+  //   out[2] = sum_r y[r]            out[3] = sum_r |y[r]|
+  // Unlike the sweeps (whose per-output accumulation order is serial), a
+  // reduction cannot be vectorized without reassociating, so the pinned
+  // semantics here is an eight-lane split: logical lane l accumulates
+  // elements congruent to l mod 8, the tail folds serially into lane 0,
+  // and the lanes combine in the fixed order detail::abft_lane_combine
+  // defines. Every ISA implements exactly that, so the reduction stays
+  // bit-identical across scalar/avx2/neon and any thread/tile count.
+  void (*abft_reduce)(const double* w, const double* x, std::size_t nx,
+                      const double* y, std::size_t ny, double* out);
 };
 
 // Kernel table for the active ISA (one relaxed atomic load).

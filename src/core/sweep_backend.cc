@@ -2,13 +2,30 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
 
 #include "src/core/simd.h"
 #include "src/sparse/vector_ops.h"
+#include "src/util/fault_injector.h"
 #include "src/util/random.h"
 #include "src/util/thread_pool.h"
 
 namespace refloat::core {
+
+AbftChecksum make_abft_checksum(const RefloatMatrix& rf,
+                                double rel_tolerance) {
+  AbftChecksum abft;
+  abft.rel_tolerance = rel_tolerance;
+  const sparse::Csr& a = rf.quantized();
+  abft.colsum.assign(static_cast<std::size_t>(a.cols()), 0.0);
+  const std::span<const sparse::Index> col_idx = a.col_idx();
+  const std::span<const double> values = a.values();
+  for (std::size_t e = 0; e < values.size(); ++e) {
+    abft.colsum[static_cast<std::size_t>(col_idx[e])] += values[e];
+  }
+  return abft;
+}
 
 const char* backend_kind_name(BackendKind kind) {
   switch (kind) {
@@ -146,10 +163,14 @@ void sweep_value_multi(const RefloatMatrix& rf, const TiledPlan* tiled,
   const std::size_t n_rows = static_cast<std::size_t>(rf.quantized().rows());
   if (rf.format().b == 0) {
     // Scalar formats have no block image to amortize: apply per column.
-    scratch.columns.resize(n_cols);
+    // Each column's quantized operand is kept (not overwritten) so the
+    // ABFT epilogue can contract the checksum against it.
+    scratch.columns.resize(n_cols * k);
     for (std::size_t j = 0; j < k; ++j) {
-      rf.quantize_vector(x.subspan(j * n_cols, n_cols), scratch.columns);
-      rf.quantized().spmv(scratch.columns, y.subspan(j * n_rows, n_rows));
+      const std::span<double> xqj =
+          std::span<double>(scratch.columns).subspan(j * n_cols, n_cols);
+      rf.quantize_vector(x.subspan(j * n_cols, n_cols), xqj);
+      rf.quantized().spmv(xqj, y.subspan(j * n_rows, n_rows));
     }
     return;
   }
@@ -211,11 +232,13 @@ void sweep_noisy_multi(const RefloatMatrix& rf, const TiledPlan* tiled,
   const std::size_t n_cols = static_cast<std::size_t>(rf.quantized().cols());
   const std::size_t n_rows = static_cast<std::size_t>(rf.quantized().rows());
   if (rf.format().b == 0) {
-    scratch.columns.resize(n_cols);
+    scratch.columns.resize(n_cols * k);
     for (std::size_t j = 0; j < k; ++j) {
-      rf.quantize_vector(x.subspan(j * n_cols, n_cols), scratch.columns);
+      const std::span<double> xqj =
+          std::span<double>(scratch.columns).subspan(j * n_cols, n_cols);
+      rf.quantize_vector(x.subspan(j * n_cols, n_cols), xqj);
       const std::span<double> yj = y.subspan(j * n_rows, n_rows);
-      rf.quantized().spmv(scratch.columns, yj);
+      rf.quantized().spmv(xqj, yj);
       util::Rng rng(util::stream_seed(seeds[j], sequences[j], 0));
       for (auto& v : yj) v *= 1.0 + sigma * rng.gaussian();
     }
@@ -245,6 +268,54 @@ void sweep_noisy_multi(const RefloatMatrix& rf, const TiledPlan* tiled,
                           partial);
   });
   sparse::deinterleave(scratch.y_interleaved, n_rows, k, y);
+}
+
+void finish_sweep(const AbftChecksum* abft, std::span<const double> x_check,
+                  std::size_t n_cols, std::span<double> y, std::size_t n_rows,
+                  std::size_t k, SweepVerdict* verdict) {
+  // Injection first, verification second: the checked mode must see (and
+  // catch) what the injector broke. Column-granular corruption on this
+  // serial path keeps the fault trace independent of thread/tile count.
+  util::FaultInjector& injector = util::FaultInjector::global();
+  if (injector.armed(util::FaultSite::kSweep)) {
+    for (std::size_t j = 0; j < k; ++j) {
+      injector.maybe_corrupt(util::FaultSite::kSweep,
+                             y.subspan(j * n_rows, n_rows));
+    }
+  }
+  if (verdict == nullptr) return;
+  verdict->reset();
+  if (abft == nullptr) return;
+  verdict->checked = true;
+  verdict->tolerance = abft->rel_tolerance;
+  assert(abft->colsum.size() == n_cols && x_check.size() >= n_cols * k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const double* xj = x_check.data() + j * n_cols;
+    const double* yj = y.data() + j * n_rows;
+    // Contract the checksum row against the operand and sum the output;
+    // `scale` tracks the magnitude actually summed so the tolerance bounds
+    // a relative discrepancy (cancellation does not false-positive). The
+    // reduction runs through the dispatched SIMD kernel table; its pinned
+    // eight-lane semantics (see simd.h) keeps the sums bit-identical
+    // across ISAs and thread/tile counts.
+    double sums[4];
+    sweep_kernels().abft_reduce(abft->colsum.data(), xj, n_cols, yj, n_rows,
+                                sums);
+    const double chk = sums[0];
+    const double chk_scale = sums[1];
+    const double sum_y = sums[2];
+    const double y_scale = sums[3];
+    const double scale = std::max(chk_scale, y_scale);
+    const double err = std::abs(sum_y - chk);
+    const double rel =
+        std::isfinite(err) ? err / std::max(scale, 1e-300)
+                           : std::numeric_limits<double>::infinity();
+    if (rel > verdict->worst_error) verdict->worst_error = rel;
+    if (!(rel <= abft->rel_tolerance)) {
+      verdict->ok = false;
+      verdict->bad_columns.push_back(j);
+    }
+  }
 }
 
 }  // namespace detail
@@ -291,12 +362,15 @@ class ValueBackend final : public SweepBackend {
   [[nodiscard]] const char* label() const override { return "refloat"; }
 
   void sweep(std::span<const double> x, std::size_t k, std::span<double> y,
-             const SweepContext& /*ctx*/) override {
+             const SweepContext& ctx) override {
     if (k == 1) {
       detail::sweep_value_single(rf_, tiles_.get(), x, y, xq_);
     } else {
       detail::sweep_value_multi(rf_, tiles_.get(), x, k, y, scratch_);
     }
+    detail::finish_sweep(abft(), k == 1 ? std::span<const double>(xq_)
+                                        : std::span<const double>(scratch_.columns),
+                         cols(), y, rows(), k, ctx.verdict);
   }
 
  private:
@@ -349,6 +423,9 @@ class NoisyBackend final : public SweepBackend {
       detail::sweep_noisy_multi(rf_, tiles_.get(), x, k, y, scratch_, sigma_,
                                 seeds, sequences);
     }
+    detail::finish_sweep(abft(), k == 1 ? std::span<const double>(xq_)
+                                        : std::span<const double>(scratch_.columns),
+                         cols(), y, rows(), k, ctx.verdict);
   }
 
  private:

@@ -61,6 +61,48 @@ bool parse_backend_kind(std::string_view name, BackendKind* out);
 // solve::BackendMultiOperator so both derive the same column identities.
 inline constexpr std::uint64_t kColumnForkSalt = 0xb5a7c01ULL;
 
+// ABFT verdict of one checked sweep (docs/ARCHITECTURE.md "Fault
+// tolerance"): per column the backend verifies sum(Y_col) against
+// checksumᵀ·X_col and flags columns whose relative discrepancy exceeds the
+// checksum's tolerance — including NaN/Inf outputs, which fail the
+// comparison by construction. `bad_columns` holds PACKED column indices
+// (0..k-1 of the sweep that produced the verdict); callers batching a
+// subset map them back through their active-column list.
+struct SweepVerdict {
+  bool checked = false;  // false: the backend ran unchecked
+  bool ok = true;
+  double worst_error = 0.0;  // largest per-column relative discrepancy
+  double tolerance = 0.0;    // the threshold worst_error was judged against
+  std::vector<std::size_t> bad_columns;
+
+  void reset() {
+    checked = false;
+    ok = true;
+    worst_error = 0.0;
+    tolerance = 0.0;
+    bad_columns.clear();
+  }
+};
+
+// The precomputed ABFT checksum row: column sums of the dequantized
+// operator (one CSR pass, independent of the SpmvPlan arena — so silent
+// plan corruption is visible against it). The classic trick is appending
+// this row to A so the sweep emits its own check value; here the backends
+// contract it against the quantized operand directly — the same O(n·k)
+// work without disturbing the block image.
+//
+// `rel_tolerance` scales with the execution view's honest deviation from
+// the exact product: FP rounding only for the value backend, sigma-scaled
+// for noisy sweeps, vector-format truncation for bit-true. It bounds the
+// *relative* discrepancy against the magnitude actually summed, so
+// cancellation-heavy columns don't false-positive.
+struct AbftChecksum {
+  std::vector<double> colsum;
+  double rel_tolerance = 1e-6;
+};
+AbftChecksum make_abft_checksum(const RefloatMatrix& rf,
+                                double rel_tolerance = 1e-6);
+
 // Per-column stream identity for stochastic backends. Either both spans are
 // empty (the backend falls back to its constructor seed and an internal
 // per-sweep application counter) or both have >= k entries: column j draws
@@ -68,9 +110,14 @@ inline constexpr std::uint64_t kColumnForkSalt = 0xb5a7c01ULL;
 // Callers that batch independent solves (the lockstep drivers, the serving
 // layer) pass each column's solo identity here so the batch reproduces the
 // solo trajectories bit-for-bit. Value backends ignore the context.
+//
+// `verdict`, when non-null, receives the ABFT verdict of each sweep: the
+// backend resets it and fills it when a checksum is attached (set_abft);
+// without one it stays checked = false.
 struct SweepContext {
   std::span<const std::uint64_t> seeds;
   std::span<const std::uint64_t> sequences;
+  SweepVerdict* verdict = nullptr;
 };
 
 class SweepBackend {
@@ -89,6 +136,26 @@ class SweepBackend {
   // two threads (scratch is per-instance); parallelism lives inside.
   virtual void sweep(std::span<const double> x, std::size_t k,
                      std::span<double> y, const SweepContext& ctx) = 0;
+
+  // Attaches (or detaches, with nullptr) the ABFT checked mode: subsequent
+  // sweeps verify every output column against the checksum and report
+  // through ctx.verdict. The checksum is borrowed; the caller keeps it
+  // alive and sized to cols(). Checking never modifies Y, so a checked
+  // sweep stays bit-identical to an unchecked one.
+  void set_abft(const AbftChecksum* abft) { abft_ = abft; }
+  [[nodiscard]] const AbftChecksum* abft() const { return abft_; }
+
+  // Rebuilds whatever hardware state the view models (the bit-true
+  // backend reprograms its crossbar image with `salt` folded into the
+  // fault seed). Returns false for views with nothing to reprogram — the
+  // recovery ladder skips that rung.
+  virtual bool reprogram(std::uint64_t salt) {
+    (void)salt;
+    return false;
+  }
+
+ private:
+  const AbftChecksum* abft_ = nullptr;
 };
 
 // Value-faithful backend over rf's SpmvPlan. `tiles` > 1 partitions the
@@ -145,6 +212,19 @@ void sweep_noisy_multi(const RefloatMatrix& rf, const TiledPlan* tiled,
                        std::span<double> y, MultiSpmvScratch& scratch,
                        double sigma, std::span<const std::uint64_t> seeds,
                        std::span<const std::uint64_t> sequences);
+
+// Shared sweep epilogue: the util::FaultInjector's `sweep` site (per-column
+// corruption of Y — applied serially after the parallel block-row sweep, so
+// a fault trace is identical at any thread/tile count) followed by the ABFT
+// verification when `abft` is attached. `x_check` holds the k column-major
+// operand vectors the checksum contracts against — the quantized columns
+// for the exact backends, the raw operand for bit-true (whose engines
+// quantize internally; the checksum tolerance absorbs that). Runs after
+// every backend sweep, checked or not, so injection reaches unchecked
+// backends too.
+void finish_sweep(const AbftChecksum* abft, std::span<const double> x_check,
+                  std::size_t n_cols, std::span<double> y, std::size_t n_rows,
+                  std::size_t k, SweepVerdict* verdict);
 
 }  // namespace detail
 

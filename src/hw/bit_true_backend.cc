@@ -9,12 +9,18 @@ namespace {
 // with, and from core's column-fork salt.
 constexpr std::uint64_t kBitTrueNoiseSalt = 0xb17c01ULL;
 
+// Salt folding a reprogram attempt's `salt` into the fault seed: the
+// rebuilt image draws a fresh, reproducible fault population.
+constexpr std::uint64_t kReprogramSalt = 0x4e409ULL;
+
 }  // namespace
 
 BitTrueBackend::BitTrueBackend(const core::RefloatMatrix& rf,
                                const ClusterConfig& config,
                                std::uint64_t seed)
-    : rows_(static_cast<std::size_t>(rf.quantized().rows())),
+    : rf_(rf),
+      config_(config),
+      rows_(static_cast<std::size_t>(rf.quantized().rows())),
       cols_(static_cast<std::size_t>(rf.quantized().cols())),
       hw_(rf, config),
       default_rng_(seed) {}
@@ -23,10 +29,23 @@ BitTrueBackend::BitTrueBackend(const core::RefloatMatrix& rf,
                                const ClusterConfig& config,
                                const core::TiledPlan& tiled,
                                std::uint64_t seed)
-    : rows_(static_cast<std::size_t>(rf.quantized().rows())),
+    : rf_(rf),
+      config_(config),
+      tiled_(&tiled),
+      rows_(static_cast<std::size_t>(rf.quantized().rows())),
       cols_(static_cast<std::size_t>(rf.quantized().cols())),
       hw_(rf, config, tiled),
       default_rng_(seed) {}
+
+bool BitTrueBackend::reprogram(std::uint64_t salt) {
+  ClusterConfig fresh = config_;
+  fresh.faults.seed = util::stream_seed(config_.faults.seed, salt,
+                                        kReprogramSalt);
+  hw_ = tiled_ != nullptr ? HwSpmv(rf_, fresh, *tiled_)
+                          : HwSpmv(rf_, fresh);
+  ++reprograms_;
+  return true;
+}
 
 void BitTrueBackend::sweep(std::span<const double> x, std::size_t k,
                            std::span<double> y,
@@ -49,6 +68,10 @@ void BitTrueBackend::sweep(std::span<const double> x, std::size_t k,
     }
   }
   hw_.apply_multi(x, k, y, bases_);
+  // Checked against the RAW operand: the engines quantize x internally, so
+  // the checksum tolerance for this view absorbs vector-format truncation
+  // (make_abft_checksum callers pass a looser rel_tolerance for bit-true).
+  core::detail::finish_sweep(abft(), x, cols_, y, rows_, k, ctx.verdict);
 }
 
 std::unique_ptr<core::SweepBackend> make_bit_true_backend(

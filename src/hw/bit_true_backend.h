@@ -28,7 +28,8 @@ class BitTrueBackend final : public core::SweepBackend {
   BitTrueBackend(const core::RefloatMatrix& rf, const ClusterConfig& config,
                  std::uint64_t seed = 0x817b17ULL);
   // Tiled programming: per-tile fault populations and ECC budgets, exactly
-  // the tiled HwSpmv constructor. `tiled` is borrowed for construction only.
+  // the tiled HwSpmv constructor. `rf` and `tiled` are borrowed for the
+  // backend's lifetime (reprogram() rebuilds the image from them).
   BitTrueBackend(const core::RefloatMatrix& rf, const ClusterConfig& config,
                  const core::TiledPlan& tiled,
                  std::uint64_t seed = 0x817b17ULL);
@@ -43,17 +44,31 @@ class BitTrueBackend final : public core::SweepBackend {
   void sweep(std::span<const double> x, std::size_t k, std::span<double> y,
              const core::SweepContext& ctx) override;
 
+  // Recovery-ladder hook: reprograms the crossbar from scratch with a
+  // fresh fault population — config.faults.seed forked by `salt` — exactly
+  // as real hardware would re-image a tile whose cells drifted. The plan,
+  // format, and tile partition are unchanged; with zero configured fault
+  // rate the rebuilt image sweeps bit-identically to the original. The
+  // arch layer prices this as one full write-verify programming pass
+  // (arch::reprogram_seconds). Always returns true.
+  bool reprogram(std::uint64_t salt) override;
+  [[nodiscard]] long reprogram_count() const { return reprograms_; }
+
   // The programmed datapath (fault/ECC tallies, engine stats, resident
   // bytes) — benches and the serving layer read these.
   [[nodiscard]] HwSpmv& hw() { return hw_; }
   [[nodiscard]] const HwSpmv& hw() const { return hw_; }
 
  private:
+  const core::RefloatMatrix& rf_;
+  ClusterConfig config_;                       // fault seed of the ORIGINAL image
+  const core::TiledPlan* tiled_ = nullptr;     // borrowed; null = monolithic
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   HwSpmv hw_;
   util::Rng default_rng_;
   std::vector<std::uint64_t> bases_;
+  long reprograms_ = 0;
 };
 
 std::unique_ptr<core::SweepBackend> make_bit_true_backend(

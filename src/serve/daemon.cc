@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <stdexcept>
 #include <utility>
 
+#include "src/arch/config.h"
+#include "src/arch/timing.h"
 #include "src/gen/suite.h"
 #include "src/hw/bit_true_backend.h"
 #include "src/solvers/batched.h"
 #include "src/sparse/vector_ops.h"
+#include "src/util/fault_injector.h"
 #include "src/util/log.h"
 #include "src/util/random.h"
 #include "src/util/stats.h"
@@ -54,6 +58,21 @@ const char* solver_name_of(bool indefinite) {
   return indefinite ? "bicgstab" : "cg";
 }
 
+// ABFT relative tolerance per execution view. Value sweeps only carry FP
+// summation rounding; noisy sweeps scatter each output by ~sigma per
+// contributing term; bit-true sweeps additionally quantize the operand
+// vector (the checksum is verified against the raw x), so the bound is the
+// loosest. A corruption flips an exponent bit or plants a NaN — orders of
+// magnitude outside all three bounds.
+double abft_tolerance(core::BackendKind kind, double sigma) {
+  switch (kind) {
+    case core::BackendKind::kValue: return 1e-6;
+    case core::BackendKind::kNoisy: return std::max(1e-6, 32.0 * sigma);
+    case core::BackendKind::kBitTrue: return 1e-3;
+  }
+  return 1e-6;
+}
+
 // Bounds the latency reservoir: a long-lived daemon must not grow an
 // unbounded vector of every latency ever observed.
 constexpr std::size_t kMaxReservoir = 1u << 20;
@@ -81,6 +100,22 @@ ServeConfig ServeConfig::from_env() {
       env_double("REFLOAT_SERVE_WINDOW_MS", config.batch_window_ms);
   config.cache_bytes =
       env_size("REFLOAT_SERVE_CACHE_MB", config.cache_bytes >> 20) << 20;
+  if (const char* text = std::getenv("REFLOAT_SERVE_ABFT");
+      text != nullptr && text[0] != '\0') {
+    config.abft = !(text[0] == '0' && text[1] == '\0');
+  }
+  if (const char* text = std::getenv("REFLOAT_SERVE_RETRIES");
+      text != nullptr && text[0] != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || parsed < 0) {
+      RF_LOG_WARN("REFLOAT_SERVE_RETRIES=\"%s\" is not a non-negative "
+                  "integer; using %d",
+                  text, config.max_retries);
+    } else {
+      config.max_retries = static_cast<int>(parsed);
+    }
+  }
   return config;
 }
 
@@ -135,6 +170,15 @@ std::future<SolveResponse> SolverDaemon::submit(SolveRequest request) {
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.submitted;
+  }
+  // Injected admission fault: the request is shed exactly as if the
+  // bounded queue were full, exercising the client-visible overload path
+  // without actually filling the queue.
+  if (util::FaultInjector::global().should_fire(
+          util::FaultSite::kAdmission)) {
+    pending.dequeue_time = pending.submit_time;
+    respond_shed(std::move(pending), ResponseStatus::kShedQueueFull);
+    return future;
   }
   if (!queue_.try_push(std::move(pending))) {
     // try_push consumes `pending` only on success; a rejected request is
@@ -240,61 +284,82 @@ void SolverDaemon::dispatch_batch(Batcher::ReadyBatch&& batch) {
   util::Timer build_timer;
   bool cache_hit = false;
   ResidencyCache::EntryPtr entry;
+  const int tiles = config_.tiles;
+  const bool abft_on = config_.abft;
+  // Named (not inline) so the recovery ladder's rebuild rung can re-run the
+  // identical builder after evicting a persistently-corrupted resident.
+  const ResidencyCache::Builder builder =
+      [&reg, tiles, kind, sigma, abft_on]() -> ResidencyCache::EntryPtr {
+    util::Timer timer;
+    util::FaultInjector& inj = util::FaultInjector::global();
+    // Injected residency-build fault: surfaces through the builder's
+    // exception path (single-flight marker cleared, batch answered as
+    // failed) — the same path a gen:: loader error takes.
+    if (inj.should_fire(util::FaultSite::kCacheBuild)) {
+      throw std::runtime_error("injected residency-build fault");
+    }
+    sparse::Csr a = reg.build();
+    auto built =
+        std::make_shared<ResidentEntry>(core::RefloatMatrix(a, reg.format));
+    // Injected plan corruption: silently damages the freshly built SpmvPlan
+    // arena. The ABFT checksum is computed from quantized() below, so
+    // checked sweeps flag this on the first apply.
+    if (inj.armed(util::FaultSite::kPlanBuild)) {
+      inj.maybe_corrupt(util::FaultSite::kPlanBuild,
+                        built->rf.mutable_plan().entry_value);
+    }
+    // Partition strictly after the RefloatMatrix reached its final
+    // address — TiledPlan borrows a pointer into rf.plan(); the
+    // backend below borrows both.
+    if (tiles > 1 && built->rf.plan().num_blocks() > 0) {
+      built->tiled = core::TiledPlan::partition(built->rf.plan(),
+                                                {.tiles = tiles});
+    }
+    const core::TiledPlan* tp =
+        built->tiled.empty() ? nullptr : &built->tiled;
+    std::size_t backend_bytes = 0;
+    switch (kind) {
+      case core::BackendKind::kValue:
+        built->backend = core::make_value_backend(built->rf, tp);
+        break;
+      case core::BackendKind::kNoisy:
+        // The constructor seed is the empty-context fallback only;
+        // serving always passes each request's own noise_seed
+        // through the SweepContext, so 0 is never consumed.
+        built->backend = core::make_noisy_backend(built->rf, sigma,
+                                                  /*seed=*/0, tp);
+        break;
+      case core::BackendKind::kBitTrue: {
+        // Default ClusterConfig = the ideal datapath (no faults, no
+        // conductance noise): bit-true serving is deterministic and
+        // the programmed image is built once per residency — the
+        // expensive step this cache exists to amortize.
+        auto bt = tp != nullptr
+                      ? std::make_unique<hw::BitTrueBackend>(
+                            built->rf, hw::ClusterConfig{}, *tp)
+                      : std::make_unique<hw::BitTrueBackend>(
+                            built->rf, hw::ClusterConfig{});
+        backend_bytes = bt->hw().resident_bytes();
+        built->backend = std::move(bt);
+        break;
+      }
+    }
+    if (abft_on) {
+      built->abft =
+          core::make_abft_checksum(built->rf, abft_tolerance(kind, sigma));
+      built->backend->set_abft(&built->abft);
+    }
+    if (built->rf.quantized().rows() == built->rf.quantized().cols()) {
+      built->indefinite =
+          built->rf.probe_definiteness().likely_indefinite();
+    }
+    built->bytes = built->rf.resident_bytes() +
+                   built->tiled.index_bytes() + backend_bytes;
+    built->build_seconds = timer.seconds();
+    return built;
+  };
   try {
-    const int tiles = config_.tiles;
-    entry = cache_.get_or_build(
-        batch.key,
-        [&reg, tiles, kind, sigma]() -> ResidencyCache::EntryPtr {
-          util::Timer timer;
-          sparse::Csr a = reg.build();
-          auto built =
-              std::make_shared<ResidentEntry>(core::RefloatMatrix(a, reg.format));
-          // Partition strictly after the RefloatMatrix reached its final
-          // address — TiledPlan borrows a pointer into rf.plan(); the
-          // backend below borrows both.
-          if (tiles > 1 && built->rf.plan().num_blocks() > 0) {
-            built->tiled = core::TiledPlan::partition(built->rf.plan(),
-                                                      {.tiles = tiles});
-          }
-          const core::TiledPlan* tp =
-              built->tiled.empty() ? nullptr : &built->tiled;
-          std::size_t backend_bytes = 0;
-          switch (kind) {
-            case core::BackendKind::kValue:
-              built->backend = core::make_value_backend(built->rf, tp);
-              break;
-            case core::BackendKind::kNoisy:
-              // The constructor seed is the empty-context fallback only;
-              // serving always passes each request's own noise_seed
-              // through the SweepContext, so 0 is never consumed.
-              built->backend = core::make_noisy_backend(built->rf, sigma,
-                                                        /*seed=*/0, tp);
-              break;
-            case core::BackendKind::kBitTrue: {
-              // Default ClusterConfig = the ideal datapath (no faults, no
-              // conductance noise): bit-true serving is deterministic and
-              // the programmed image is built once per residency — the
-              // expensive step this cache exists to amortize.
-              auto bt = tp != nullptr
-                            ? std::make_unique<hw::BitTrueBackend>(
-                                  built->rf, hw::ClusterConfig{}, *tp)
-                            : std::make_unique<hw::BitTrueBackend>(
-                                  built->rf, hw::ClusterConfig{});
-              backend_bytes = bt->hw().resident_bytes();
-              built->backend = std::move(bt);
-              break;
-            }
-          }
-          if (built->rf.quantized().rows() == built->rf.quantized().cols()) {
-            built->indefinite =
-                built->rf.probe_definiteness().likely_indefinite();
-          }
-          built->bytes = built->rf.resident_bytes() +
-                         built->tiled.index_bytes() + backend_bytes;
-          built->build_seconds = timer.seconds();
-          return built;
-        },
-        &cache_hit);
+    entry = cache_.get_or_build(batch.key, builder, &cache_hit);
   } catch (const std::exception& e) {
     RF_LOG_ERROR("serve: building \"%s\" failed: %s", batch.key.c_str(),
                  e.what());
@@ -347,16 +412,78 @@ void SolverDaemon::dispatch_batch(Batcher::ReadyBatch&& batch) {
   }
 
   util::Timer solve_timer;
-  solve::BackendMultiOperator op(*entry->backend, std::move(noise_seeds));
+  solve::BackendMultiOperator op(*entry->backend, noise_seeds);
   solve::BatchedSolveResult result =
       entry->indefinite
           ? solve::bicgstab_multi(op, b, k, options, tolerances)
           : solve::cg_multi(op, b, k, options, tolerances);
   const double solve_seconds = solve_timer.seconds();
+
+  // Recovery ladder: walk every failed column down the retry/degrade rungs
+  // (k=1 solves — the failed column alone, not the whole batch again).
+  struct ColumnOutcome {
+    const char* backend_name = nullptr;
+    int retries = 0;
+    bool degraded = false;
+    bool shed = false;
+  };
+  std::vector<ColumnOutcome> outcome(k);
+  for (ColumnOutcome& o : outcome) {
+    o.backend_name = core::backend_kind_name(kind);
+  }
+  std::uint64_t tally_abft = 0, tally_retries = 0, tally_recovered = 0;
+  std::uint64_t tally_degraded = 0, tally_reprograms = 0, tally_rebuilds = 0;
+  double tally_reprogram_seconds = 0.0;
+  if (config_.max_retries > 0 && !result.failures.empty()) {
+    const double per_column_estimate =
+        solve_seconds / static_cast<double>(k);
+    for (const solve::ColumnFailure& f : result.failures) {
+      if (f.status == solve::SolveStatus::kCorrupted) ++tally_abft;
+      // A column that ran out its iteration budget got exactly the service
+      // it paid for — a retry would burn the same budget again.
+      if (f.status == solve::SolveStatus::kMaxIterations) continue;
+      const std::size_t c = f.column;
+      Recovery rec = recover_column(
+          batch.key, entry, builder, kind, sigma,
+          std::span<const double>(b).subspan(c * n, n), tolerances[c],
+          noise_seeds[c], valid[c].request.deadline, options,
+          std::move(result.columns[c]), per_column_estimate);
+      RF_LOG_WARN(
+          "serve: column %zu of \"%s\" failed (%s at iter %ld, last-good "
+          "residual %.3e): %d retr%s, %s",
+          c, batch.key.c_str(), solve::status_name(f.status), f.iteration,
+          f.last_good_residual, rec.retries, rec.retries == 1 ? "y" : "ies",
+          rec.shed ? "shed"
+                   : solve::status_name(rec.column.status));
+      result.columns[c] = std::move(rec.column);
+      outcome[c].backend_name = core::backend_kind_name(rec.final_kind);
+      outcome[c].retries = rec.retries;
+      outcome[c].degraded = rec.degraded;
+      outcome[c].shed = rec.shed;
+      tally_retries += static_cast<std::uint64_t>(rec.retries);
+      tally_abft += static_cast<std::uint64_t>(rec.abft_failures);
+      tally_reprograms += static_cast<std::uint64_t>(rec.reprograms);
+      tally_rebuilds += static_cast<std::uint64_t>(rec.rebuilds);
+      tally_reprogram_seconds += rec.reprogram_seconds;
+      if (!rec.shed &&
+          result.columns[c].status == solve::SolveStatus::kConverged) {
+        ++tally_recovered;
+        if (rec.degraded) ++tally_degraded;
+      }
+    }
+  } else {
+    for (const solve::ColumnFailure& f : result.failures) {
+      if (f.status == solve::SolveStatus::kCorrupted) ++tally_abft;
+    }
+  }
   const TimePoint done = Clock::now();
 
   for (std::size_t c = 0; c < k; ++c) {
     PendingRequest& p = valid[c];
+    if (outcome[c].shed) {
+      respond_shed(std::move(p), ResponseStatus::kShedDeadline);
+      continue;
+    }
     SolveResponse response;
     response.status = ResponseStatus::kOk;
     response.solve_status = result.columns[c].status;
@@ -367,8 +494,10 @@ void SolverDaemon::dispatch_batch(Batcher::ReadyBatch&& batch) {
     }
     response.batch_k = k;
     response.solver = solver_name_of(entry->indefinite);
-    response.backend = core::backend_kind_name(kind);
+    response.backend = outcome[c].backend_name;
     response.cache_hit = cache_hit;
+    response.retries = outcome[c].retries;
+    response.degraded = outcome[c].degraded;
     response.latency.queue_seconds =
         std::chrono::duration<double>(p.dequeue_time - p.submit_time).count();
     response.latency.build_seconds = cache_hit ? 0.0 : build_seconds;
@@ -383,6 +512,143 @@ void SolverDaemon::dispatch_batch(Batcher::ReadyBatch&& batch) {
   ++stats_.batches;
   stats_.batched_requests += k;
   stats_.max_batch_k = std::max<std::uint64_t>(stats_.max_batch_k, k);
+  stats_.abft_failures += tally_abft;
+  stats_.retries += tally_retries;
+  stats_.recovered += tally_recovered;
+  stats_.degraded += tally_degraded;
+  stats_.reprograms += tally_reprograms;
+  stats_.rebuilds += tally_rebuilds;
+  stats_.reprogram_seconds_sum += tally_reprogram_seconds;
+}
+
+// --- Recovery ladder -------------------------------------------------------
+// One failed column walks down these rungs, one attempt each, bounded by
+// config.max_retries and the request's deadline:
+//   1. Re-solve on the same backend. An ABFT-corrupted solve re-runs from
+//      scratch — the flagged apply's output was discarded before touching
+//      x, so a clean retry reproduces the fault-free trajectory bit-for-bit
+//      (transient faults). Diverged/stalled/breakdown trajectories instead
+//      warm-start from the last-good iterate.
+//   2. Bit-true: reprogram the crossbar image under a fresh fault seed,
+//      priced at a full write-verify programming pass. Other views whose
+//      corruption survived rung 1 (a damaged resident image, not a
+//      transient): evict the residency entry and rebuild it.
+//   3. Degrade one execution view per remaining attempt
+//      (bittrue -> noisy -> value) and re-solve; the response carries
+//      degraded=true and the view that actually answered.
+// Before every attempt the expected cost (the measured duration of the
+// previous attempt) is checked against the deadline; when another attempt
+// no longer fits, the request is shed instead of answered late.
+SolverDaemon::Recovery SolverDaemon::recover_column(
+    const std::string& key, ResidencyCache::EntryPtr& entry,
+    const ResidencyCache::Builder& rebuild, core::BackendKind kind,
+    double sigma, std::span<const double> b_col, double tolerance,
+    std::uint64_t noise_seed, TimePoint deadline,
+    const solve::SolveOptions& options, solve::SolveResult&& failed,
+    double attempt_estimate_seconds) {
+  Recovery rec;
+  rec.column = std::move(failed);
+  rec.final_kind = kind;
+
+  // Degraded-view backends are built on demand over the resident matrix;
+  // their ABFT checksum must outlive every solve that checks against it.
+  std::unique_ptr<core::SweepBackend> degraded_backend;
+  core::AbftChecksum degraded_abft;
+
+  double estimate = std::max(attempt_estimate_seconds, 0.0);
+  bool reprogrammed = false;
+  bool rebuilt = false;
+
+  for (int attempt = 1; attempt <= config_.max_retries; ++attempt) {
+    if (rec.column.status == solve::SolveStatus::kConverged) break;
+    if (deadline != kNoDeadline &&
+        Clock::now() + std::chrono::duration_cast<Duration>(
+                           std::chrono::duration<double>(estimate)) >
+            deadline) {
+      rec.shed = true;
+      return rec;
+    }
+
+    const bool corrupted =
+        rec.column.status == solve::SolveStatus::kCorrupted;
+    if (attempt > 1) {
+      // Rung 2+: change something before solving again.
+      if (kind == core::BackendKind::kBitTrue && !reprogrammed &&
+          !rec.degraded) {
+        if (entry->backend->reprogram(static_cast<std::uint64_t>(attempt))) {
+          reprogrammed = true;
+          ++rec.reprograms;
+          rec.reprogram_seconds += arch::reprogram_seconds(
+              arch::AcceleratorConfig{}, entry->rf.nonzero_blocks());
+        }
+      } else if (kind != core::BackendKind::kBitTrue && corrupted &&
+                 !rebuilt && !rec.degraded) {
+        // Bit-true already rebuilt its image on the reprogram rung; for the
+        // other views, corruption that survives a clean re-solve means the
+        // resident image itself is damaged.
+        cache_.erase(key);
+        try {
+          ResidencyCache::EntryPtr fresh = cache_.get_or_build(key, rebuild);
+          if (fresh != nullptr) {
+            entry = std::move(fresh);
+            rebuilt = true;
+            ++rec.rebuilds;
+          }
+        } catch (const std::exception& e) {
+          RF_LOG_WARN("serve: rebuilding \"%s\" for recovery failed: %s",
+                      key.c_str(), e.what());
+        }
+      } else {
+        // Degrade one view. Value is the floor — out of rungs there.
+        core::BackendKind next = rec.final_kind;
+        if (rec.final_kind == core::BackendKind::kBitTrue) {
+          next = core::BackendKind::kNoisy;
+        } else if (rec.final_kind == core::BackendKind::kNoisy) {
+          next = core::BackendKind::kValue;
+        } else {
+          break;
+        }
+        const core::TiledPlan* tp =
+            entry->tiled.empty() ? nullptr : &entry->tiled;
+        degraded_backend =
+            next == core::BackendKind::kNoisy
+                ? core::make_noisy_backend(entry->rf, sigma, /*seed=*/0, tp)
+                : core::make_value_backend(entry->rf, tp);
+        if (config_.abft) {
+          degraded_abft =
+              core::make_abft_checksum(entry->rf, abft_tolerance(next, sigma));
+          degraded_backend->set_abft(&degraded_abft);
+        }
+        rec.final_kind = next;
+        rec.degraded = true;
+      }
+    }
+
+    // Corrupted attempts restart clean (bit-identity with the fault-free
+    // solve); persistent failures warm-start from the last-good iterate.
+    const std::span<const double> x0 =
+        corrupted ? std::span<const double>()
+                  : std::span<const double>(rec.column.solution);
+    core::SweepBackend& backend =
+        rec.degraded ? *degraded_backend : *entry->backend;
+
+    solve::SolveOptions opts = options;
+    opts.tolerance = tolerance;
+    solve::BackendMultiOperator op(backend,
+                                   std::vector<std::uint64_t>{noise_seed});
+    util::Timer timer;
+    solve::BatchedSolveResult attempt_result =
+        entry->indefinite
+            ? solve::bicgstab_multi(op, b_col, 1, opts, {}, x0)
+            : solve::cg_multi(op, b_col, 1, opts, {}, x0);
+    estimate = timer.seconds();
+    ++rec.retries;
+    if (attempt_result.columns[0].status == solve::SolveStatus::kCorrupted) {
+      ++rec.abft_failures;
+    }
+    rec.column = std::move(attempt_result.columns[0]);
+  }
+  return rec;
 }
 
 void SolverDaemon::record_completion(const SolveResponse& response) {
@@ -438,6 +704,16 @@ void SolverDaemon::print_stats() const {
   table.add_row({"batches", u64(s.batches)});
   table.add_row({"mean batch k", util::fmt_f(s.mean_batch_k(), 2)});
   table.add_row({"max batch k", u64(s.max_batch_k)});
+  table.add_row({"abft failures", u64(s.abft_failures)});
+  table.add_row({"retries", u64(s.retries)});
+  table.add_row({"recovered", u64(s.recovered)});
+  table.add_row({"degraded", u64(s.degraded)});
+  table.add_row({"reprograms", u64(s.reprograms)});
+  table.add_row({"rebuilds", u64(s.rebuilds)});
+  if (s.reprograms > 0) {
+    table.add_row({"modeled reprogram cost",
+                   util::fmt_duration(s.reprogram_seconds_sum)});
+  }
   table.add_row({"cache hits", u64(s.cache.hits)});
   table.add_row({"cache misses", u64(s.cache.misses)});
   table.add_row({"cache evictions", u64(s.cache.evictions)});

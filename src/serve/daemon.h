@@ -27,6 +27,7 @@
 #include <future>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -48,6 +49,15 @@ struct ServeConfig {
   long max_iterations = 10000;        // solver budget per request
   int tiles = 0;                      // 0 -> core::default_tile_count()
   bool manual_pump = false;           // tests: drive via pump(now)
+  // ABFT checked sweeps: every resident backend carries a checksum row and
+  // every operator apply is verified (REFLOAT_SERVE_ABFT=0 disables; the
+  // recovery ladder then only sees divergence/stall/breakdown failures).
+  bool abft = true;                   // REFLOAT_SERVE_ABFT
+  // Recovery-ladder attempt budget per failed column; 0 disables retries
+  // entirely (failures are answered as-is). Rungs: re-solve, then
+  // reprogram (bit-true) or rebuild (persistent corruption), then degrade
+  // one execution view per attempt (bittrue -> noisy -> value).
+  int max_retries = 4;                // REFLOAT_SERVE_RETRIES
 
   // Reads the REFLOAT_SERVE_* overrides onto the defaults above (invalid
   // values warn and keep the default).
@@ -65,6 +75,14 @@ struct ServeStats {
   std::uint64_t batches = 0;
   std::uint64_t batched_requests = 0;  // sum of k over batches
   std::uint64_t max_batch_k = 0;
+  // Fault-tolerance counters (the recovery ladder).
+  std::uint64_t abft_failures = 0;   // solve attempts ended kCorrupted
+  std::uint64_t retries = 0;         // ladder attempts run
+  std::uint64_t recovered = 0;       // failed columns answered kConverged
+  std::uint64_t degraded = 0;        // answers from a degraded view
+  std::uint64_t reprograms = 0;      // bit-true crossbar reprogram rungs
+  std::uint64_t rebuilds = 0;        // residency rebuild rungs
+  double reprogram_seconds_sum = 0.0;  // modeled write-verify reprogram cost
   double queue_seconds_sum = 0.0;
   double build_seconds_sum = 0.0;
   double solve_seconds_sum = 0.0;
@@ -135,6 +153,29 @@ class SolverDaemon {
   void dispatch_batch(Batcher::ReadyBatch&& batch);
   void respond_shed(PendingRequest&& pending, ResponseStatus status);
   void record_completion(const SolveResponse& response);
+
+  // One failed column's walk down the recovery ladder (daemon.cc "Recovery
+  // ladder" comment block for the rung order).
+  struct Recovery {
+    solve::SolveResult column;  // the answer to report (possibly original)
+    int retries = 0;            // ladder attempts consumed
+    bool degraded = false;      // answered from a lower execution view
+    core::BackendKind final_kind = core::BackendKind::kValue;
+    bool shed = false;          // deadline could not fit another attempt
+    int reprograms = 0;         // crossbar reprogram rungs taken
+    int rebuilds = 0;           // residency rebuild rungs taken
+    int abft_failures = 0;      // retry attempts that ended kCorrupted
+    double reprogram_seconds = 0.0;  // modeled write-verify reprogram cost
+  };
+  Recovery recover_column(const std::string& key,
+                          ResidencyCache::EntryPtr& entry,
+                          const ResidencyCache::Builder& rebuild,
+                          core::BackendKind kind, double sigma,
+                          std::span<const double> b_col, double tolerance,
+                          std::uint64_t noise_seed, TimePoint deadline,
+                          const solve::SolveOptions& options,
+                          solve::SolveResult&& failed,
+                          double attempt_estimate_seconds);
 
   ServeConfig config_;
   util::BoundedQueue<PendingRequest> queue_;

@@ -80,7 +80,15 @@ struct SolveResponse {
   std::size_t batch_k = 0;        // batch size this request rode in
   const char* solver = "";        // "cg" or "bicgstab" (probe-routed)
   const char* backend = "value";  // backend_kind_name of the executing view
+                                  // — the FINAL view after any degradation
   bool cache_hit = false;         // matrix was already resident
+  // Recovery-ladder accounting (docs/ARCHITECTURE.md "Fault tolerance"):
+  // how many retry attempts this request consumed, and whether the answer
+  // came from a degraded execution view (bittrue -> noisy -> value). The
+  // TCP front-end echoes `degraded=<backend>` so clients see the contract
+  // they actually got.
+  int retries = 0;
+  bool degraded = false;
   LatencyBreakdown latency;
 };
 

@@ -97,6 +97,17 @@ std::vector<std::string> ResidencyCache::keys_lru_to_mru() const {
   return {lru_.begin(), lru_.end()};
 }
 
+bool ResidencyCache::erase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(key);
+  if (it == slots_.end() || it->second.entry == nullptr) return false;
+  stats_.resident_bytes -= it->second.entry->bytes;
+  lru_.erase(it->second.lru_it);
+  slots_.erase(it);
+  stats_.resident_count = slots_.size();
+  return true;
+}
+
 void ResidencyCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto it = slots_.begin(); it != slots_.end();) {

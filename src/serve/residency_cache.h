@@ -49,6 +49,11 @@ struct ResidentEntry {
   core::RefloatMatrix rf;
   core::TiledPlan tiled;
   std::unique_ptr<core::SweepBackend> backend;
+  // ABFT checksum row over the dequantized operator (empty colsum when
+  // checked sweeps are off). Computed from quantized(), NOT the plan, so a
+  // silently corrupted plan arena fails verification. The backend holds a
+  // pointer to this member — the entry's address is pinned by shared_ptr.
+  core::AbftChecksum abft;
   std::size_t bytes = 0;       // what the cache budgets for this entry
   bool indefinite = false;     // probe_definiteness routing verdict
   double build_seconds = 0.0;  // one-time cost the residency amortizes
@@ -88,6 +93,13 @@ class ResidencyCache {
 
   // Drops every resident entry (in-flight builds are unaffected).
   void clear();
+
+  // Drops one resident entry — the recovery ladder's "rebuild" rung evicts
+  // a key whose resident image keeps failing verification so the next
+  // get_or_build re-runs the builder. Returns false when the key is not
+  // resident (unknown, or build still in flight). In-flight solves holding
+  // the old entry keep it alive until they finish.
+  bool erase(const std::string& key);
 
  private:
   struct Slot {

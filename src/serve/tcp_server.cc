@@ -13,6 +13,7 @@
 #include <stdexcept>
 
 #include "src/serve/daemon.h"
+#include "src/util/fault_injector.h"
 #include "src/util/log.h"
 #include "src/util/table.h"
 
@@ -69,8 +70,9 @@ std::string shed_reason(ResponseStatus status) {
 
 }  // namespace
 
-TcpServer::TcpServer(SolverDaemon& daemon, std::uint16_t port)
-    : daemon_(daemon) {
+TcpServer::TcpServer(SolverDaemon& daemon, std::uint16_t port,
+                     double idle_timeout_seconds)
+    : daemon_(daemon), idle_timeout_seconds_(idle_timeout_seconds) {
   listen_fd_ = make_listener(port, &port_);
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
@@ -120,18 +122,38 @@ void TcpServer::accept_loop() {
 }
 
 void TcpServer::serve_connection(int fd) {
+  // Idle timeout: a silent peer unblocks recv() with EAGAIN and the
+  // connection is dropped — a stalled client cannot pin this worker.
+  if (idle_timeout_seconds_ > 0.0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(idle_timeout_seconds_);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (idle_timeout_seconds_ - static_cast<double>(tv.tv_sec)) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
   std::string buffer;
   char chunk[1024];
   bool quit = false;
   while (!quit && !stopping_.load()) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) break;
+    if (n <= 0) break;  // closed, error, or idle timeout (EAGAIN)
     buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > kMaxLineBytes &&
+        buffer.find('\n') == std::string::npos) {
+      // Bounded receive buffer: a newline-free flood cannot grow memory.
+      send_all(fd, "ERR line too long\n");
+      break;
+    }
     std::size_t nl;
     while (!quit && (nl = buffer.find('\n')) != std::string::npos) {
       std::string line = buffer.substr(0, nl);
       buffer.erase(0, nl + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.size() > kMaxLineBytes) {
+        send_all(fd, "ERR line too long\n");
+        quit = true;
+        break;
+      }
       const std::string reply = handle_line(daemon_, line, &quit);
       if (!send_all(fd, reply + "\n")) {
         quit = true;
@@ -162,8 +184,30 @@ std::string TcpServer::handle_line(SolverDaemon& daemon,
         << " batches=" << s.batches << " mean_k=" << s.mean_batch_k()
         << " cache_hits=" << s.cache.hits << " cache_misses=" << s.cache.misses
         << " resident=" << s.cache.resident_count
+        << " abft_failures=" << s.abft_failures << " retries=" << s.retries
+        << " recovered=" << s.recovered << " degraded=" << s.degraded
+        << " reprograms=" << s.reprograms << " rebuilds=" << s.rebuilds
         << " p50_ms=" << s.p50_total_ms << " p99_ms=" << s.p99_total_ms;
     return out.str();
+  }
+  if (verb == "FAULT") {
+    // FAULT                -> report injector state
+    // FAULT off            -> disarm every site
+    // FAULT <spec>[,<spec>] -> arm sites (REFLOAT_FAULTS grammar)
+    util::FaultInjector& inj = util::FaultInjector::global();
+    std::string text;
+    in >> text;
+    if (text.empty()) return "FAULT " + inj.describe();
+    if (text == "off") {
+      inj.disable_all();
+      return "FAULT " + inj.describe();
+    }
+    if (!inj.configure_from_text(text)) {
+      return "ERR bad fault spec \"" + text +
+             "\" (want <site>:<rate>[:<seed>[:<budget>]], site in "
+             "plan|sweep|build|admission)";
+    }
+    return "FAULT " + inj.describe();
   }
   if (verb != "SOLVE") return "ERR unknown verb \"" + verb + "\"";
 
@@ -228,7 +272,10 @@ std::string TcpServer::handle_line(SolverDaemon& daemon,
         << " residual=" << response.final_residual
         << " k=" << response.batch_k << " solver=" << response.solver
         << " backend=" << response.backend
-        << " hit=" << (response.cache_hit ? 1 : 0)
+        << " hit=" << (response.cache_hit ? 1 : 0);
+    if (response.retries > 0) out << " retries=" << response.retries;
+    if (response.degraded) out << " degraded=" << response.backend;
+    out
         << " queue_ms=" << ms(response.latency.queue_seconds)
         << " build_ms=" << ms(response.latency.build_seconds)
         << " solve_ms=" << ms(response.latency.solve_seconds)

@@ -9,12 +9,20 @@
 //     -> SHED reason=queue_full|deadline|shutdown
 //     -> ERR <message>
 //   STATS  -> one line of counters
+//   FAULT <site>:<rate>[:<seed>[:<budget>]] | FAULT off | FAULT
+//          -> arm / disarm / report the process-wide fault injector
+//             (same grammar as REFLOAT_FAULTS; util/fault_injector.h)
 //   PING   -> PONG
 //   QUIT   -> BYE (closes the connection)
 //
 // Solutions never travel over the wire (want_solution = false): the wire
 // carries the solve verdict, the vector stays server-side — matching the
 // accelerator story where x lives next to the crossbars.
+//
+// Connection hardening: a line longer than kMaxLineBytes answers ERR and
+// closes the connection (the receive buffer never grows unbounded), and a
+// connection idle longer than the constructor's idle timeout is dropped
+// (SO_RCVTIMEO — a stalled client cannot pin a worker thread forever).
 #pragma once
 
 #include <atomic>
@@ -29,10 +37,16 @@ class SolverDaemon;
 
 class TcpServer {
  public:
+  // Hard cap on one request line (and thus on the per-connection receive
+  // buffer). SOLVE lines are tens of bytes; 64 KiB is beyond generous.
+  static constexpr std::size_t kMaxLineBytes = 64 * 1024;
+
   // Binds 127.0.0.1:port (port 0 picks an ephemeral port — read it back
   // via port()) and starts the accept thread. Throws std::runtime_error
-  // when the socket cannot be bound.
-  TcpServer(SolverDaemon& daemon, std::uint16_t port = 0);
+  // when the socket cannot be bound. idle_timeout_seconds bounds how long
+  // a connection may sit silent between bytes (0 disables the timeout).
+  TcpServer(SolverDaemon& daemon, std::uint16_t port = 0,
+            double idle_timeout_seconds = 60.0);
   ~TcpServer();
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
@@ -54,6 +68,7 @@ class TcpServer {
   void serve_connection(int fd);
 
   SolverDaemon& daemon_;
+  double idle_timeout_seconds_ = 60.0;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};

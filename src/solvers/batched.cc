@@ -54,7 +54,9 @@ void BackendMultiOperator::apply_multi_cols(
     ctx_sequences_[j] = counters_[c];
   }
   backend_.sweep(x, k, y,
-                 {.seeds = ctx_seeds_, .sequences = ctx_sequences_});
+                 {.seeds = ctx_seeds_,
+                  .sequences = ctx_sequences_,
+                  .verdict = &verdict_});
   for (std::size_t j = 0; j < k; ++j) ++counters_[columns[j]];
 }
 
@@ -89,6 +91,26 @@ void finalize(ColumnState& col, SolveStatus status, long k) {
   col.done = true;
 }
 
+// Collects the structured failure report: every non-converged column with
+// its status, terminal iteration, and last residual known good (the
+// monitor's best finite residual; the final residual when nothing finite
+// was ever checked).
+void collect_failures(BatchedSolveResult& batch,
+                      const std::vector<ColumnState>& cols) {
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    const SolveResult& r = cols[c].result;
+    if (r.status == SolveStatus::kConverged) continue;
+    double last_good = cols[c].monitor.best_residual();
+    if (!std::isfinite(last_good)) last_good = r.final_residual;
+    batch.failures.push_back(ColumnFailure{
+        .column = c,
+        .status = r.status,
+        .iteration = r.iterations,
+        .last_good_residual = last_good,
+    });
+  }
+}
+
 // Materializes the per-column SolveOptions the monitors reference: a copy
 // of `options` per column, with tolerances[c] (when provided) replacing
 // options.tolerance. The vector must outlive the ColumnStates — Monitor
@@ -112,15 +134,35 @@ void drop_done(std::vector<std::size_t>& active,
                active.end());
 }
 
+// After a checked apply: finalize every column the ABFT verdict flagged as
+// kCorrupted, mapping the verdict's packed indices back to original batch
+// columns. The flagged output is about to be dropped from the lockstep
+// (callers drop_done before consuming the apply), so x holds the last-good
+// iterate. No-op for unchecked operators and clean applies.
+void finalize_corrupted(MultiOperator& op,
+                        const std::vector<std::size_t>& active,
+                        std::vector<ColumnState>& cols, long it) {
+  const core::SweepVerdict* v = op.last_verdict();
+  if (v == nullptr || !v->checked || v->ok) return;
+  for (const std::size_t packed : v->bad_columns) {
+    if (packed < active.size()) {
+      finalize(cols[active[packed]], SolveStatus::kCorrupted, it);
+    }
+  }
+}
+
 // Packs the active columns' vectors into a dense batch, applies, and
 // scatters the results back into each column's destination array. The
 // copies move bits, not arithmetic, so column results match single applies.
 // Every apply goes through apply_multi_cols with the active column ids, so
 // stochastic operators keep per-column stream identity through dropout.
+// Columns the operator's ABFT verdict flags are finalized as kCorrupted
+// here; callers must drop_done before consuming the apply's output.
 void batched_apply(MultiOperator& op, const std::vector<std::size_t>& active,
                    const std::vector<double>& src, std::vector<double>& dst,
                    std::size_t n, std::vector<double>& in_buf,
-                   std::vector<double>& out_buf, BatchedSolveResult& tally) {
+                   std::vector<double>& out_buf, BatchedSolveResult& tally,
+                   std::vector<ColumnState>& cols, long it) {
   const std::size_t ka = active.size();
   if (ka == 0) return;
   // While every column is still live (`active` is sorted and unique, so
@@ -130,6 +172,7 @@ void batched_apply(MultiOperator& op, const std::vector<std::size_t>& active,
     op.apply_multi_cols(src, ka, dst, active);
     tally.batched_applies += 1;
     tally.column_applies += static_cast<long>(ka);
+    finalize_corrupted(op, active, cols, it);
     return;
   }
   in_buf.resize(ka * n);
@@ -147,13 +190,15 @@ void batched_apply(MultiOperator& op, const std::vector<std::size_t>& active,
   }
   tally.batched_applies += 1;
   tally.column_applies += static_cast<long>(ka);
+  finalize_corrupted(op, active, cols, it);
 }
 
 }  // namespace
 
 BatchedSolveResult cg_multi(MultiOperator& op, std::span<const double> b,
                             std::size_t k, const SolveOptions& options,
-                            std::span<const double> tolerances) {
+                            std::span<const double> tolerances,
+                            std::span<const double> x0) {
   const std::size_t n = static_cast<std::size_t>(op.dim());
   BatchedSolveResult batch;
   const std::vector<SolveOptions> col_opts =
@@ -162,7 +207,6 @@ BatchedSolveResult cg_multi(MultiOperator& op, std::span<const double> b,
   cols.reserve(k);
   std::vector<double> x(k * n, 0.0);
   std::vector<double> r(b.begin(), b.begin() + static_cast<long>(k * n));
-  std::vector<double> p(r);
   std::vector<double> ap(k * n, 0.0);
   std::vector<double> rho(k, 0.0);
   std::vector<std::size_t> active;
@@ -171,10 +215,21 @@ BatchedSolveResult cg_multi(MultiOperator& op, std::span<const double> b,
 
   for (std::size_t c = 0; c < k; ++c) {
     cols.emplace_back(col_opts[c]);
+    active.push_back(c);
+  }
+  if (!x0.empty()) {
+    std::copy(x0.begin(), x0.begin() + static_cast<long>(k * n), x.begin());
+    batched_apply(op, active, x, ap, n, in_buf, out_buf, batch, cols, 0);
+    drop_done(active, cols);
+    for (const std::size_t c : active) {
+      sparse::sub(b.subspan(c * n, n), column(ap, c, n), column(r, c, n));
+    }
+  }
+  std::vector<double> p(r);
+  for (const std::size_t c : active) {
     rho[c] = sparse::dot(column(r, c, n), column(r, c, n));
     cols[c].rnorm = std::sqrt(rho[c]);
     if (options.record_trace) cols[c].result.trace.push_back(cols[c].rnorm);
-    active.push_back(c);
   }
 
   long it = 0;
@@ -189,7 +244,8 @@ BatchedSolveResult cg_multi(MultiOperator& op, std::span<const double> b,
     ++it;
 
     // ONE SpMM for every column still iterating (the batched hot path).
-    batched_apply(op, active, p, ap, n, in_buf, out_buf, batch);
+    batched_apply(op, active, p, ap, n, in_buf, out_buf, batch, cols, it);
+    drop_done(active, cols);
 
     for (const std::size_t c : active) {
       const auto pc = column(p, c, n);
@@ -214,6 +270,7 @@ BatchedSolveResult cg_multi(MultiOperator& op, std::span<const double> b,
     drop_done(active, cols);
   }
 
+  collect_failures(batch, cols);
   for (std::size_t c = 0; c < k; ++c) {
     const auto xc = column(x, c, n);
     cols[c].result.solution.assign(xc.begin(), xc.end());
@@ -225,7 +282,8 @@ BatchedSolveResult cg_multi(MultiOperator& op, std::span<const double> b,
 BatchedSolveResult bicgstab_multi(MultiOperator& op,
                                   std::span<const double> b, std::size_t k,
                                   const SolveOptions& options,
-                                  std::span<const double> tolerances) {
+                                  std::span<const double> tolerances,
+                                  std::span<const double> x0) {
   const std::size_t n = static_cast<std::size_t>(op.dim());
   BatchedSolveResult batch;
   const std::vector<SolveOptions> col_opts =
@@ -238,7 +296,6 @@ BatchedSolveResult bicgstab_multi(MultiOperator& op,
   std::vector<double> v(k * n, 0.0);
   std::vector<double> s(k * n, 0.0);
   std::vector<double> t(k * n, 0.0);
-  std::vector<double> r_shadow(r);
   std::vector<double> rho(k, 1.0);
   std::vector<double> alpha(k, 1.0);
   std::vector<double> omega(k, 1.0);
@@ -254,10 +311,21 @@ BatchedSolveResult bicgstab_multi(MultiOperator& op,
 
   for (std::size_t c = 0; c < k; ++c) {
     cols.emplace_back(col_opts[c]);
+    active.push_back(c);
+  }
+  if (!x0.empty()) {
+    std::copy(x0.begin(), x0.begin() + static_cast<long>(k * n), x.begin());
+    batched_apply(op, active, x, t, n, in_buf, out_buf, batch, cols, 0);
+    drop_done(active, cols);
+    for (const std::size_t c : active) {
+      sparse::sub(b.subspan(c * n, n), column(t, c, n), column(r, c, n));
+    }
+  }
+  std::vector<double> r_shadow(r);
+  for (const std::size_t c : active) {
     cols[c].rnorm = sparse::norm2(column(r, c, n));
     best_since_restart[c] = cols[c].rnorm;
     if (options.record_trace) cols[c].result.trace.push_back(cols[c].rnorm);
-    active.push_back(c);
   }
 
   long it = 0;
@@ -280,8 +348,9 @@ BatchedSolveResult bicgstab_multi(MultiOperator& op,
         subset.push_back(c);
       }
     }
-    batched_apply(op, subset, x, t, n, in_buf, out_buf, batch);
+    batched_apply(op, subset, x, t, n, in_buf, out_buf, batch, cols, it);
     for (const std::size_t c : subset) {
+      if (cols[c].done) continue;  // restart apply flagged this column
       ++restarts[c];
       sparse::sub(b.subspan(c * n, n), column(t, c, n), column(r, c, n));
       const auto rc = column(r, c, n);
@@ -292,6 +361,8 @@ BatchedSolveResult bicgstab_multi(MultiOperator& op,
       cols[c].rnorm = sparse::norm2(rc);
       best_since_restart[c] = cols[c].rnorm;
     }
+
+    drop_done(active, cols);
 
     for (const std::size_t c : active) {
       rho_next[c] = sparse::dot(column(r_shadow, c, n), column(r, c, n));
@@ -310,7 +381,8 @@ BatchedSolveResult bicgstab_multi(MultiOperator& op,
     drop_done(active, cols);
 
     // First SpMM of the iteration proper: v = A p for all live columns.
-    batched_apply(op, active, p, v, n, in_buf, out_buf, batch);
+    batched_apply(op, active, p, v, n, in_buf, out_buf, batch, cols, it);
+    drop_done(active, cols);
     for (const std::size_t c : active) {
       const double rhat_v =
           sparse::dot(column(r_shadow, c, n), column(v, c, n));
@@ -336,7 +408,8 @@ BatchedSolveResult bicgstab_multi(MultiOperator& op,
     drop_done(active, cols);
 
     // Second SpMM: t = A s for the columns that did not exit early.
-    batched_apply(op, active, s, t, n, in_buf, out_buf, batch);
+    batched_apply(op, active, s, t, n, in_buf, out_buf, batch, cols, it);
+    drop_done(active, cols);
     for (const std::size_t c : active) {
       const auto sc = column(s, c, n);
       const auto tc = column(t, c, n);
@@ -369,6 +442,7 @@ BatchedSolveResult bicgstab_multi(MultiOperator& op,
     drop_done(active, cols);
   }
 
+  collect_failures(batch, cols);
   for (std::size_t c = 0; c < k; ++c) {
     const auto xc = column(x, c, n);
     cols[c].result.solution.assign(xc.begin(), xc.end());

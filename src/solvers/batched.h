@@ -50,6 +50,14 @@ class MultiOperator {
   }
   [[nodiscard]] virtual sparse::Index dim() const = 0;
   [[nodiscard]] virtual std::string label() const = 0;
+  // ABFT verdict of the most recent apply when the underlying execution
+  // view runs checked sweeps (core::SweepBackend::set_abft); nullptr means
+  // this operator is unchecked. The lockstep drivers consult this after
+  // every batched apply and finalize flagged columns as kCorrupted before
+  // their scalars touch the poisoned output.
+  [[nodiscard]] virtual const core::SweepVerdict* last_verdict() const {
+    return nullptr;
+  }
 };
 
 // Baseline adapter: applies a single-vector operator column by column
@@ -120,6 +128,9 @@ class BackendMultiOperator final : public MultiOperator {
   [[nodiscard]] std::string label() const override {
     return std::string(backend_.label()) + "+batched";
   }
+  [[nodiscard]] const core::SweepVerdict* last_verdict() const override {
+    return backend_.abft() != nullptr ? &verdict_ : nullptr;
+  }
   [[nodiscard]] core::SweepBackend& backend() { return backend_; }
 
  private:
@@ -129,10 +140,27 @@ class BackendMultiOperator final : public MultiOperator {
   std::vector<std::uint64_t> ctx_seeds_;
   std::vector<std::uint64_t> ctx_sequences_;
   std::vector<std::size_t> identity_;
+  core::SweepVerdict verdict_;  // filled by every checked sweep
+};
+
+// One non-converged column of a lockstep solve, in the structured form the
+// serving layer's recovery ladder consumes: which column, how it failed,
+// when, and the last residual known good (the solution vector in
+// BatchedSolveResult::columns[column] holds the matching last-good iterate
+// — a kCorrupted column's x was never touched by the flagged sweep).
+struct ColumnFailure {
+  std::size_t column = 0;
+  SolveStatus status = SolveStatus::kMaxIterations;
+  long iteration = 0;
+  double last_good_residual = 0.0;
 };
 
 struct BatchedSolveResult {
   std::vector<SolveResult> columns;  // one per right-hand side, in order
+  // Every column that terminated with a status other than kConverged, in
+  // column order — the daemon's retry/degrade ladder keys its rungs off
+  // these statuses.
+  std::vector<ColumnFailure> failures;
   // Operator-application accounting: how many batched apply_multi calls the
   // lockstep run issued vs the per-column applications they carried (the
   // k-sequential-solves count). Their ratio is the reprogram amortization
@@ -157,9 +185,15 @@ struct BatchedSolveResult {
 // with different tolerances, and each column must still terminate exactly
 // as its solo solve would. Column j with tolerances[j] = t is bit-identical
 // to the serial solver run with options.tolerance = t.
+//
+// `x0` (empty, or k column-major vectors) warm-starts the solve: x = x0 and
+// r = b - A x0 (one extra batched apply), the recovery ladder's "re-solve
+// from the last-good iterate" rung. Empty keeps the classic x = 0 start —
+// and only that start carries the bit-identity contract above.
 BatchedSolveResult cg_multi(MultiOperator& op, std::span<const double> b,
                             std::size_t k, const SolveOptions& options,
-                            std::span<const double> tolerances = {});
+                            std::span<const double> tolerances = {},
+                            std::span<const double> x0 = {});
 
 // Lockstep BiCGSTAB (same contract, including the restart rescue and the
 // early s-norm exit of the serial implementation — the early exit also
@@ -167,7 +201,8 @@ BatchedSolveResult cg_multi(MultiOperator& op, std::span<const double> b,
 BatchedSolveResult bicgstab_multi(MultiOperator& op,
                                   std::span<const double> b, std::size_t k,
                                   const SolveOptions& options,
-                                  std::span<const double> tolerances = {});
+                                  std::span<const double> tolerances = {},
+                                  std::span<const double> x0 = {});
 
 // k deterministic right-hand sides (column-major), each scaled to
 // ||b_j|| = norm: column 0 is make_rhs(a, norm); later columns perturb the

@@ -18,6 +18,7 @@ class Monitor {
   // status, or nullopt to continue. k == 0 is the initial residual; a
   // converged k == 0 reports as 1 iteration (the first residual check).
   std::optional<SolveStatus> check(long k, double rnorm) {
+    if (std::isfinite(rnorm) && rnorm < best_seen_) best_seen_ = rnorm;
     if (!std::isfinite(rnorm)) return SolveStatus::kDiverged;
     if (rnorm <= opts_.tolerance) return SolveStatus::kConverged;
     if (rnorm > opts_.divergence_factor) return SolveStatus::kDiverged;
@@ -33,9 +34,15 @@ class Monitor {
     return std::nullopt;
   }
 
+  // Smallest finite residual ever checked — the "last-good residual" the
+  // batched drivers put in their failure reports. Infinity before the
+  // first finite check.
+  [[nodiscard]] double best_residual() const { return best_seen_; }
+
  private:
   const SolveOptions& opts_;
   double best_ = std::numeric_limits<double>::infinity();
+  double best_seen_ = std::numeric_limits<double>::infinity();
   long best_iter_ = 0;
 };
 

@@ -12,6 +12,7 @@ const char* status_name(SolveStatus status) {
     case SolveStatus::kStalled: return "stalled";
     case SolveStatus::kDiverged: return "diverged";
     case SolveStatus::kBreakdown: return "breakdown";
+    case SolveStatus::kCorrupted: return "corrupted";
   }
   return "?";
 }

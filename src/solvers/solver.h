@@ -31,6 +31,9 @@ enum class SolveStatus {
   kStalled,    // no residual progress within options.stall_window iterations
   kDiverged,   // residual exceeded divergence_factor
   kBreakdown,  // non-finite or zero curvature / rho / omega
+  kCorrupted,  // ABFT checksum mismatch on an operator apply — the sweep
+               // output was discarded before touching x, so the solution
+               // holds the last iterate known good
 };
 
 const char* status_name(SolveStatus status);

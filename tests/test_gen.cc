@@ -219,6 +219,77 @@ TEST(MatrixMarket, RejectsUnsupportedHeadersAndBadEntries) {
   EXPECT_FALSE(error.empty());
 }
 
+TEST(MatrixMarket, RejectsTruncatedAndNonNumericInput) {
+  sparse::Csr a;
+  std::string error;
+  // Empty file.
+  EXPECT_FALSE(load_matrix_market(write_temp("empty.mtx", ""), &a, &error));
+  EXPECT_EQ(error, "empty file");
+  // Banner only: the size line never arrives.
+  EXPECT_FALSE(load_matrix_market(
+      write_temp("headeronly.mtx",
+                 "%%MatrixMarket matrix coordinate real general\n"),
+      &a, &error));
+  EXPECT_EQ(error, "missing size line");
+  // Truncated banner: the format token is missing entirely.
+  EXPECT_FALSE(load_matrix_market(
+      write_temp("halfbanner.mtx", "%%MatrixMarket matrix\n2 2 1\n1 1 1.0\n"),
+      &a, &error));
+  // Non-numeric size line.
+  EXPECT_FALSE(load_matrix_market(
+      write_temp("badsize.mtx",
+                 "%%MatrixMarket matrix coordinate real general\ntwo 2 1\n"),
+      &a, &error));
+  EXPECT_NE(error.find("malformed size line"), std::string::npos) << error;
+  // Non-numeric entry value.
+  EXPECT_FALSE(load_matrix_market(
+      write_temp("badentry.mtx",
+                 "%%MatrixMarket matrix coordinate real general\n2 2 1\n"
+                 "1 1 abc\n"),
+      &a, &error));
+  EXPECT_NE(error.find("malformed entry"), std::string::npos) << error;
+  // Zero-based (out-of-range) indices: Matrix Market is 1-based.
+  EXPECT_FALSE(load_matrix_market(
+      write_temp("zerobased.mtx",
+                 "%%MatrixMarket matrix coordinate real general\n2 2 1\n"
+                 "0 1 1.0\n"),
+      &a, &error));
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+}
+
+TEST(Suite, LoadOrBuildWarnsAndFallsThroughBadMtx) {
+  // A damaged <name>.mtx override must not poison the suite: load_or_build
+  // warns, ignores the file, and generates the stand-in as if it were
+  // absent. A well-formed override, by contrast, wins over generation.
+  SuiteSpec spec;
+  spec.name = "tiny_fallthrough";
+  spec.kind = MatrixKind::kLaplace2d5;
+  spec.nx = 8;
+  spec.ny = 8;
+  spec.paper_kappa = 10.0;
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "refloat_test_fallthrough")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream bad(dir + "/tiny_fallthrough.mtx", std::ios::trunc);
+    bad << "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n";
+  }
+  const sparse::Csr generated = load_or_build(spec, dir);
+  EXPECT_EQ(generated.rows(), 64);  // the 8x8 stand-in, not the 2x2 file
+
+  {
+    std::ofstream good(dir + "/tiny_fallthrough.mtx", std::ios::trunc);
+    good << "%%MatrixMarket matrix coordinate real general\n2 2 2\n"
+            "1 1 1.0\n2 2 1.0\n";
+  }
+  const sparse::Csr overridden = load_or_build(spec, dir);
+  EXPECT_EQ(overridden.rows(), 2);  // the valid override wins
+  std::filesystem::remove_all(dir);
+}
+
 TEST(MatrixMarket, BlockLayoutStatsCountNonemptyBlocks) {
   // 5-point 16x12 stencil under 16x16 blocking: the diagonal plus the
   // off-diagonal neighbour bands touch a banded set of the 12x12 grid.

@@ -6,6 +6,10 @@
 // daemon survives concurrent submitters (the TSan target).
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <future>
 #include <thread>
@@ -13,10 +17,12 @@
 
 #include "src/gen/grid.h"
 #include "src/serve/daemon.h"
+#include "src/serve/tcp_server.h"
 #include "src/solvers/batched.h"
 #include "src/solvers/bicgstab.h"
 #include "src/solvers/cg.h"
 #include "src/solvers/operator.h"
+#include "src/util/fault_injector.h"
 
 namespace refloat::serve {
 namespace {
@@ -489,6 +495,262 @@ TEST(Serve, ThreadedConcurrentSubmitters) {
   // The cold matrix was built exactly once despite concurrent batches.
   EXPECT_EQ(stats.cache.builds, 1u);
   EXPECT_EQ(stats.cache.misses, 1u);
+}
+
+// --- Fault tolerance: the retry/degrade ladder and the hardened wire ------
+
+// Restores the process-global injector to disarmed whatever the test does.
+struct GlobalInjectorGuard {
+  GlobalInjectorGuard() { util::FaultInjector::global().disable_all(); }
+  ~GlobalInjectorGuard() { util::FaultInjector::global().disable_all(); }
+};
+
+TEST(ServeFaults, CorruptedSolveRecoversBitIdentically) {
+  // One transient sweep corruption (rate 1, budget 1): the first apply of
+  // the batch is flagged by ABFT, the ladder's rung-1 clean re-solve runs
+  // with the budget spent, and the answer is bit-identical to the
+  // fault-free solo solve — the corrupted output never touched x.
+  GlobalInjectorGuard guard;
+  SolverDaemon daemon(manual_config());
+  register_test_matrix(daemon);
+  const sparse::Csr a = test_csr();
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  const std::vector<double> b = solve::make_rhs_batch(a, 1);
+
+  ASSERT_TRUE(
+      util::FaultInjector::global().configure_from_text("sweep:1:40:1"));
+  auto future = submit_rhs(daemon, batch_column(b, n, 0));
+  const TimePoint t0 = Clock::now();
+  daemon.pump(t0);
+  daemon.pump(t0 + milliseconds(3));
+
+  ASSERT_TRUE(ready(future));
+  const SolveResponse got = future.get();
+  const solve::SolveResult want = solo_cg(batch_column(b, n, 0), 1e-8);
+  EXPECT_EQ(got.status, ResponseStatus::kOk);
+  EXPECT_EQ(got.solve_status, solve::SolveStatus::kConverged);
+  EXPECT_EQ(got.retries, 1);
+  EXPECT_FALSE(got.degraded);
+  EXPECT_STREQ(got.backend, "value");
+  EXPECT_EQ(got.iterations, want.iterations);
+  EXPECT_EQ(got.final_residual, want.final_residual);
+  ASSERT_EQ(got.solution.size(), want.solution.size());
+  for (std::size_t i = 0; i < want.solution.size(); ++i) {
+    ASSERT_EQ(got.solution[i], want.solution[i]) << "row " << i;
+  }
+
+  const ServeStats stats = daemon.stats();
+  EXPECT_EQ(stats.abft_failures, 1u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.recovered, 1u);
+  EXPECT_EQ(stats.degraded, 0u);
+}
+
+TEST(ServeFaults, BitTrueLadderReprogramsThenDegrades) {
+  // Budget 3 walks a bit-true request down the whole ladder: the initial
+  // solve corrupts (1), the rung-1 re-solve corrupts (2), the rung-2
+  // reprogrammed image corrupts (3), and the rung-3 degraded noisy view
+  // finally answers clean. The response carries the view that answered.
+  GlobalInjectorGuard guard;
+  SolverDaemon daemon(manual_config());
+  register_test_matrix(daemon);
+
+  ASSERT_TRUE(
+      util::FaultInjector::global().configure_from_text("sweep:1:41:3"));
+  SolveRequest request;
+  request.matrix = kName;
+  request.rhs_seed = 5;
+  request.tolerance = 1e-6;
+  request.backend = core::BackendKind::kBitTrue;
+  auto future = daemon.submit(std::move(request));
+  const TimePoint t0 = Clock::now();
+  daemon.pump(t0);
+  daemon.pump(t0 + milliseconds(3));
+
+  ASSERT_TRUE(ready(future));
+  const SolveResponse got = future.get();
+  EXPECT_EQ(got.status, ResponseStatus::kOk);
+  EXPECT_EQ(got.solve_status, solve::SolveStatus::kConverged);
+  EXPECT_EQ(got.retries, 3);
+  EXPECT_TRUE(got.degraded);
+  EXPECT_STREQ(got.backend, "noisy");
+
+  const ServeStats stats = daemon.stats();
+  EXPECT_EQ(stats.abft_failures, 3u);
+  EXPECT_EQ(stats.reprograms, 1u);
+  EXPECT_EQ(stats.degraded, 1u);
+  EXPECT_EQ(stats.recovered, 1u);
+}
+
+TEST(ServeFaults, LadderShedsWhenDeadlineCannotFitRetry) {
+  // The request dispatches (its deadline is still ahead of the batcher's
+  // logical clock) but real time has already passed it, so the ladder's
+  // pre-attempt deadline check sheds instead of answering late.
+  GlobalInjectorGuard guard;
+  ServeConfig config = manual_config();
+  config.max_batch = 1;  // full at one request: dispatches on first pump
+  SolverDaemon daemon(config);
+  register_test_matrix(daemon);
+  const sparse::Csr a = test_csr();
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  const std::vector<double> b = solve::make_rhs_batch(a, 1);
+
+  ASSERT_TRUE(
+      util::FaultInjector::global().configure_from_text("sweep:1:42"));
+  const TimePoint t0 = Clock::now();
+  SolveRequest request;
+  request.matrix = kName;
+  request.rhs = batch_column(b, n, 0);
+  request.deadline = t0 + milliseconds(1);
+  auto future = daemon.submit(std::move(request));
+
+  std::this_thread::sleep_for(milliseconds(10));  // real clock passes deadline
+  daemon.pump(t0);  // logical clock still before it: dispatch, not pre-shed
+
+  ASSERT_TRUE(ready(future));
+  const SolveResponse got = future.get();
+  EXPECT_EQ(got.status, ResponseStatus::kShedDeadline);
+  EXPECT_EQ(daemon.stats().shed_deadline, 1u);
+  EXPECT_EQ(daemon.stats().recovered, 0u);
+}
+
+TEST(ServeFaults, AdmissionFaultShedsAtSubmit) {
+  GlobalInjectorGuard guard;
+  SolverDaemon daemon(manual_config());
+  register_test_matrix(daemon);
+  const sparse::Csr a = test_csr();
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  const std::vector<double> b = solve::make_rhs_batch(a, 1);
+
+  ASSERT_TRUE(
+      util::FaultInjector::global().configure_from_text("admission:1:43:1"));
+  auto dropped = submit_rhs(daemon, batch_column(b, n, 0));
+  ASSERT_TRUE(ready(dropped));  // answered at submit, never queued
+  EXPECT_EQ(dropped.get().status, ResponseStatus::kShedQueueFull);
+
+  // Budget spent: the next submit is admitted and solves normally.
+  auto admitted = submit_rhs(daemon, batch_column(b, n, 0));
+  const TimePoint t0 = Clock::now();
+  daemon.pump(t0);
+  daemon.pump(t0 + milliseconds(3));
+  EXPECT_EQ(admitted.get().status, ResponseStatus::kOk);
+}
+
+TEST(ServeFaults, BuildFaultFailsBatchLoudly) {
+  GlobalInjectorGuard guard;
+  SolverDaemon daemon(manual_config());
+  register_test_matrix(daemon);
+  const sparse::Csr a = test_csr();
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  const std::vector<double> b = solve::make_rhs_batch(a, 1);
+
+  ASSERT_TRUE(
+      util::FaultInjector::global().configure_from_text("build:1:44:1"));
+  auto failed = submit_rhs(daemon, batch_column(b, n, 0));
+  TimePoint t0 = Clock::now();
+  daemon.pump(t0);
+  daemon.pump(t0 + milliseconds(3));
+  ASSERT_TRUE(ready(failed));
+  EXPECT_EQ(failed.get().status, ResponseStatus::kUnknownMatrix);
+
+  // The single-flight marker was cleared: a later request rebuilds fine.
+  auto retried = submit_rhs(daemon, batch_column(b, n, 0));
+  t0 = Clock::now();
+  daemon.pump(t0);
+  daemon.pump(t0 + milliseconds(3));
+  EXPECT_EQ(retried.get().status, ResponseStatus::kOk);
+}
+
+TEST(ServeFaults, FaultVerbRoundTrips) {
+  GlobalInjectorGuard guard;
+  SolverDaemon daemon(manual_config());
+  bool quit = false;
+
+  std::string reply =
+      TcpServer::handle_line(daemon, "FAULT sweep:0.5:9:10", &quit);
+  EXPECT_EQ(reply.rfind("FAULT ", 0), 0u) << reply;
+  EXPECT_NE(reply.find("sweep"), std::string::npos);
+  EXPECT_TRUE(util::FaultInjector::global().armed(util::FaultSite::kSweep));
+
+  reply = TcpServer::handle_line(daemon, "FAULT off", &quit);
+  EXPECT_EQ(reply.rfind("FAULT", 0), 0u);
+  EXPECT_FALSE(util::FaultInjector::global().any_armed());
+
+  reply = TcpServer::handle_line(daemon, "FAULT warp:0.5", &quit);
+  EXPECT_EQ(reply.rfind("ERR bad fault spec", 0), 0u) << reply;
+
+  reply = TcpServer::handle_line(daemon, "STATS", &quit);
+  EXPECT_NE(reply.find("abft_failures="), std::string::npos) << reply;
+  EXPECT_NE(reply.find("retries="), std::string::npos);
+  EXPECT_FALSE(quit);
+}
+
+// --- TCP hardening ---------------------------------------------------------
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  // Bound every test read so a server bug cannot hang the suite.
+  timeval tv{};
+  tv.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  return fd;
+}
+
+// Reads until '\n' (returned without it) or connection close / timeout.
+std::string recv_line(int fd) {
+  std::string line;
+  char c = 0;
+  while (::recv(fd, &c, 1, 0) == 1) {
+    if (c == '\n') return line;
+    line.push_back(c);
+  }
+  return line;
+}
+
+TEST(TcpHardening, OversizedLineAnswersErrAndCloses) {
+  SolverDaemon daemon(manual_config());
+  TcpServer server(daemon);
+  const int fd = connect_loopback(server.port());
+  ASSERT_GE(fd, 0);
+
+  const std::string flood(TcpServer::kMaxLineBytes + 1024, 'A');
+  std::size_t off = 0;
+  while (off < flood.size()) {
+    const ssize_t n =
+        ::send(fd, flood.data() + off, flood.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) break;  // server may already have slammed the door
+    off += static_cast<std::size_t>(n);
+  }
+  EXPECT_EQ(recv_line(fd), "ERR line too long");
+  char c = 0;
+  EXPECT_LE(::recv(fd, &c, 1, 0), 0);  // connection closed after the ERR
+  ::close(fd);
+}
+
+TEST(TcpHardening, IdleConnectionIsDropped) {
+  SolverDaemon daemon(manual_config());
+  TcpServer server(daemon, /*port=*/0, /*idle_timeout_seconds=*/0.1);
+  const int fd = connect_loopback(server.port());
+  ASSERT_GE(fd, 0);
+
+  // A live client still gets served...
+  ASSERT_GT(::send(fd, "PING\n", 5, MSG_NOSIGNAL), 0);
+  EXPECT_EQ(recv_line(fd), "PONG");
+  // ...then goes silent past the idle timeout: the server hangs up (recv
+  // sees EOF well inside the 5 s client-side read bound).
+  char c = 0;
+  EXPECT_LE(::recv(fd, &c, 1, 0), 0);
+  ::close(fd);
 }
 
 }  // namespace

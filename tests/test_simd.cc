@@ -264,6 +264,33 @@ TEST_F(SimdSweep, EmptyBlockRowsAreNoOpsOnEveryIsa) {
   }
 }
 
+TEST_F(SimdSweep, AbftReduceBitIdenticalAcrossIsasAndLengths) {
+  // The ABFT reduction's eight-lane split is pinned semantics (simd.h):
+  // every ISA must produce bit-identical sums at every length, including
+  // tails that are not a multiple of the lane count and the empty input.
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{8}, std::size_t{1023},
+                              std::size_t{4096}}) {
+    const std::vector<double> w = random_vector(n, 0xabf7 + n);
+    const std::vector<double> x = random_vector(n, 0x11 + n);
+    const std::vector<double> y = random_vector(n + n / 2, 0x22 + n);
+    double ref[4] = {};
+    core::sweep_kernels_for(SimdIsa::kScalar)
+        .abft_reduce(w.data(), x.data(), n, y.data(), y.size(), ref);
+    for (const SimdIsa isa : runnable_isas()) {
+      double got[4] = {};
+      core::sweep_kernels_for(isa).abft_reduce(w.data(), x.data(), n,
+                                               y.data(), y.size(), got);
+      for (int s = 0; s < 4; ++s) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(ref[s]),
+                  std::bit_cast<std::uint64_t>(got[s]))
+            << "isa=" << core::simd_isa_name(isa) << " n=" << n
+            << " sum=" << s;
+      }
+    }
+  }
+}
+
 TEST(SimdDispatch, EnvOverrideAndClamping) {
   // simd_set_isa clamps unsupported requests to the best supported ISA.
   const SimdIsa best = core::simd_best_supported();
